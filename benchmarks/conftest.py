@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper table/figure, times the regeneration
+via pytest-benchmark, asserts the paper's qualitative claims, and writes the
+rendered table to ``benchmarks/results/<artifact>.txt`` so the output
+survives pytest's capture.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write one artifact's rendered report to the results directory."""
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        # Also echo to stdout for -s runs.
+        print(f"\n=== {name} ===\n{text}")
+
+    return _record

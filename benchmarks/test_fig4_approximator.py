@@ -1,0 +1,24 @@
+"""Fig. 4 — y = x^2 approximation with MaxK vs ReLU MLPs.
+
+Paper: both nonlinearities' approximation error falls as hidden width grows
+and MaxK matches ReLU — the empirical universal-approximation result.
+"""
+
+from repro.experiments import fig4_approximator
+
+
+def test_fig4_approximator(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: fig4_approximator.run(
+            hidden_sizes=[4, 8, 16, 32, 64], epochs=400
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("fig4_approximator", fig4_approximator.report(result))
+
+    # Error decreases with width for both families.
+    assert result.maxk_errors[-1] < result.maxk_errors[0]
+    assert result.relu_errors[-1] < result.relu_errors[0]
+    # MaxK approximates comparably to ReLU at the widest setting.
+    assert result.maxk_errors[-1] < max(10 * result.relu_errors[-1], 2e-3)

@@ -1,0 +1,77 @@
+"""§4.3 — analytical traffic-model cross-check.
+
+Verifies the paper's closed-form memory-traffic reductions over the whole
+(graph × k) grid and reproduces the two headline numbers: Reddit at dim 256
+reduces forward traffic by 90.6% at k=16 and ~90.5/89.8% at k=32 (Table 2
+narrative).
+"""
+
+import pytest
+
+from repro.experiments.common import K_VALUES, format_table
+from repro.gpusim import (
+    spgemm_traffic_bytes,
+    spgemm_traffic_reduction,
+    spmm_traffic_bytes,
+    sspmm_read_bytes,
+    sspmm_write_bytes,
+)
+from repro.graphs import TABLE1_GRAPHS
+
+DIM = 256
+
+
+def regenerate():
+    rows = []
+    for name, spec in TABLE1_GRAPHS.items():
+        for k in K_VALUES:
+            spmm = spmm_traffic_bytes(DIM, spec.n_edges)
+            spgemm = spgemm_traffic_bytes(k, spec.n_edges)
+            rows.append(
+                (
+                    name,
+                    k,
+                    spmm / 1e9,
+                    spgemm / 1e9,
+                    1.0 - spgemm / spmm,
+                    sspmm_read_bytes(DIM, k, spec.n_nodes, spec.n_edges) / 1e9,
+                    sspmm_write_bytes(k, spec.n_edges) / 1e9,
+                )
+            )
+    return rows
+
+
+def test_traffic_model_grid(benchmark, record_result):
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "graph", "k", "spmm_GB", "spgemm_GB", "fwd_reduction",
+            "sspmm_read_GB", "sspmm_write_GB",
+        ],
+        rows,
+    )
+    record_result("sec4_3_traffic_model", table)
+
+    # Every reduction matches the closed form exactly.
+    for name, spec in TABLE1_GRAPHS.items():
+        for k in K_VALUES:
+            reduction = spmm_traffic_bytes(DIM, spec.n_edges) - (
+                spgemm_traffic_bytes(k, spec.n_edges)
+            )
+            assert reduction == spgemm_traffic_reduction(DIM, k, spec.n_edges)
+
+
+def test_paper_headline_reductions():
+    reddit = TABLE1_GRAPHS["Reddit"]
+    spmm = spmm_traffic_bytes(DIM, reddit.n_edges)
+
+    # "Reddit ... k = 16 can reduce global memory traffic by 90.6%" (§1).
+    reduction_k16 = 1.0 - spgemm_traffic_bytes(16, reddit.n_edges) / spmm
+    assert reduction_k16 > 0.906
+
+    # "reduces total global memory traffic by close to 90.5%/89.8%" at k=32.
+    reduction_k32 = 1.0 - spgemm_traffic_bytes(32, reddit.n_edges) / spmm
+    assert reduction_k32 == pytest.approx(0.84, abs=0.01)
+    backward_read = sspmm_read_bytes(DIM, 32, reddit.n_nodes, reddit.n_edges)
+    backward_reduction = 1.0 - backward_read / spmm
+    assert backward_reduction > 0.80

@@ -1,0 +1,66 @@
+"""Kernel-level study: sweep k on one graph and inspect the memory system.
+
+Reproduces the per-graph view behind Fig. 8 and Table 2: for a chosen
+Table-1 graph it prints the modelled SpGEMM/SSpMM speedups across k, the
+§4.3 traffic breakdown, and a cache-simulator profile of the three kernels.
+
+Run:  python examples/kernel_profiling.py [graph-name]
+      (default: Reddit; see repro.graphs.kernel_benchmark_names())
+"""
+
+import sys
+
+from repro.experiments import table2_memory
+from repro.experiments.common import K_VALUES
+from repro.gpusim import (
+    A100,
+    SparsePattern,
+    cusparse_spmm_cost,
+    gnnadvisor_spmm_cost,
+    spgemm_cost,
+    sspmm_cost,
+)
+from repro.graphs import TABLE1_GRAPHS
+
+DIM_ORIGIN = 256
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "Reddit"
+    spec = TABLE1_GRAPHS[name]
+    pattern = SparsePattern.from_spec(spec)
+    print(
+        f"{name}: {spec.n_nodes:,} nodes, {spec.n_edges:,} edges, "
+        f"avg degree {spec.avg_degree:.1f}"
+    )
+
+    spmm = cusparse_spmm_cost(pattern, DIM_ORIGIN, A100)
+    gnna = gnnadvisor_spmm_cost(pattern, DIM_ORIGIN, A100)
+    print(
+        f"\nbaselines: cuSPARSE SpMM {spmm.latency * 1e3:.2f} ms, "
+        f"GNNAdvisor {gnna.latency * 1e3:.2f} ms"
+    )
+
+    print(f"\n{'k':>4} {'SpGEMM ms':>10} {'spd/cusp':>9} {'spd/gnna':>9} "
+          f"{'SSpMM ms':>10} {'spd/cusp':>9} {'traffic cut':>11}")
+    for k in K_VALUES:
+        forward = spgemm_cost(pattern, DIM_ORIGIN, k, A100)
+        backward = sspmm_cost(pattern, DIM_ORIGIN, k, A100)
+        cut = 1.0 - forward.traffic.categories["cbsr_fetch"] / (
+            spmm.traffic.categories["feature_fetch"]
+        )
+        print(
+            f"{k:>4} {forward.latency * 1e3:>10.2f} "
+            f"{spmm.latency / forward.latency:>9.2f} "
+            f"{gnna.latency / forward.latency:>9.2f} "
+            f"{backward.latency * 1e3:>10.2f} "
+            f"{spmm.latency / backward.latency:>9.2f} "
+            f"{cut:>10.1%}"
+        )
+
+    print("\nCache-simulator profile (scaled stand-in, k = 32):")
+    print(table2_memory.report(table2_memory.run(dataset=name)))
+
+
+if __name__ == "__main__":
+    main()

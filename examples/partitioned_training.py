@@ -1,0 +1,59 @@
+"""MaxK-GNN composed with partition-parallel and sampled training.
+
+The paper (§1) notes the MaxK constructs align with graph partitioning
+(BNS-GCN) and graph sampling (GraphSAINT). This example trains the same
+MaxK GraphSAGE three ways on the scaled ogbn-products stand-in:
+
+* full-batch (the paper's main setting),
+* BNS-GCN-style partitioned training with sampled boundary halos,
+* GraphSAINT-style random-node subgraph training,
+
+and compares final test accuracy.
+
+Run:  python examples/partitioned_training.py
+"""
+
+from repro.graphs import TRAINING_CONFIGS, bfs_partition, load_training_dataset
+from repro.models import GNNConfig, MaxKGNN
+from repro.training import PartitionedTrainer, SampledTrainer, Trainer
+
+
+def main():
+    dataset = "ogbn-products"
+    cfg = TRAINING_CONFIGS[dataset]
+    graph = load_training_dataset(dataset)
+    config = GNNConfig(
+        model_type="sage", in_features=cfg.n_features, hidden=cfg.hidden,
+        out_features=int(graph.labels.max()) + 1, n_layers=cfg.layers,
+        nonlinearity="maxk", k=16, dropout=cfg.dropout,
+    )
+    print(f"{dataset} (scaled): {graph.summary()}  |  MaxK k=16, hidden {cfg.hidden}")
+
+    full = Trainer(MaxKGNN(graph, config, seed=0), graph, lr=cfg.lr)
+    full_result = full.fit(cfg.epochs, eval_every=20)
+    print(f"\nfull-batch:      test = {full_result.test_at_best_val:.3f}")
+
+    partition = bfs_partition(graph, 4, seed=0)
+    print(
+        f"partition:       4 parts, sizes {partition.sizes().tolist()}, "
+        f"edge cut {partition.edge_cut(graph)} / {graph.n_edges}"
+    )
+    partitioned = PartitionedTrainer(
+        graph, config, n_parts=4, boundary_fraction=0.3, lr=cfg.lr, seed=0
+    )
+    part_result = partitioned.fit(rounds=8, epochs_per_part=4)
+    print(f"BNS-partitioned: test = {part_result.test_metric:.3f} "
+          f"(subgraphs of ~{int(sum(part_result.subgraph_sizes) / len(part_result.subgraph_sizes))} nodes)")
+
+    sampled = SampledTrainer(
+        graph, config, sample_size=graph.n_nodes // 2, lr=cfg.lr, seed=0
+    )
+    sample_result = sampled.fit(rounds=16, epochs_per_sample=4)
+    print(f"SAINT-sampled:   test = {sample_result.test_metric:.3f}")
+
+    print("\nMaxK composes with both methods: sampled/partitioned variants "
+          "approach the full-batch accuracy while touching smaller adjacencies.")
+
+
+if __name__ == "__main__":
+    main()

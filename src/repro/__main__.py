@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro <artifact>`` regenerates paper artifacts."""
+
+from .cli import main
+
+raise SystemExit(main())

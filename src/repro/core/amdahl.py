@@ -1,0 +1,71 @@
+"""Amdahl's-law utilities used throughout the system evaluation (Fig. 9).
+
+The paper contextualises every training speedup against the limit
+``S = 1 / (1 - p_SpMM)`` where ``p_SpMM`` is the fraction of the epoch spent
+in the SpMM operator — the only part MaxK-GNN accelerates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["speedup_limit", "speedup", "AmdahlBreakdown"]
+
+
+def speedup_limit(accelerated_fraction: float) -> float:
+    """Theoretical speedup limit when the accelerated part becomes free.
+
+    ``S = 1 / (1 - p)``; returns ``inf`` when p == 1.
+    """
+    if not 0.0 <= accelerated_fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    remaining = 1.0 - accelerated_fraction
+    return float("inf") if remaining == 0.0 else 1.0 / remaining
+
+
+def speedup(accelerated_fraction: float, kernel_speedup: float) -> float:
+    """Overall speedup when a fraction ``p`` of the time is sped up ``s`` times."""
+    if kernel_speedup <= 0:
+        raise ValueError("kernel_speedup must be positive")
+    if not 0.0 <= accelerated_fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    return 1.0 / (
+        (1.0 - accelerated_fraction) + accelerated_fraction / kernel_speedup
+    )
+
+
+@dataclass(frozen=True)
+class AmdahlBreakdown:
+    """An epoch split into the accelerable (SpMM) and fixed parts.
+
+    All times are in the same (arbitrary) unit; ratios are what matter.
+    """
+
+    spmm_time: float
+    other_time: float
+
+    def __post_init__(self):
+        if self.spmm_time < 0 or self.other_time < 0:
+            raise ValueError("times must be non-negative")
+        if self.spmm_time + self.other_time == 0:
+            raise ValueError("total time must be positive")
+
+    @property
+    def total_time(self) -> float:
+        return self.spmm_time + self.other_time
+
+    @property
+    def p_spmm(self) -> float:
+        """Fraction of the epoch spent in SpMM."""
+        return self.spmm_time / self.total_time
+
+    @property
+    def limit(self) -> float:
+        """Amdahl speedup limit 1 / (1 - p_SpMM)."""
+        return speedup_limit(self.p_spmm)
+
+    def speedup_with(self, new_spmm_time: float) -> float:
+        """Epoch speedup when SpMM time is replaced by ``new_spmm_time``."""
+        if new_spmm_time < 0:
+            raise ValueError("new_spmm_time must be non-negative")
+        return self.total_time / (self.other_time + new_spmm_time)

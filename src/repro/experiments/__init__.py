@@ -1,0 +1,37 @@
+"""Per-table / per-figure experiment modules (see DESIGN.md §4).
+
+Each module exposes ``run(...)`` returning a structured result object and
+``report(...)`` rendering a paper-shaped text table.
+"""
+
+from . import (
+    fig1_breakdown,
+    fig4_approximator,
+    fig8_kernels,
+    fig9_system,
+    fig10_convergence,
+    table1_datasets,
+    table2_memory,
+    table3_setup,
+    table4_maxk_kernel,
+    table5_accuracy,
+)
+from .common import K_VALUES, epoch_model_for, format_table, pattern_for, scaled_k
+
+__all__ = [
+    "fig1_breakdown",
+    "fig4_approximator",
+    "fig8_kernels",
+    "fig9_system",
+    "fig10_convergence",
+    "table1_datasets",
+    "table2_memory",
+    "table3_setup",
+    "table4_maxk_kernel",
+    "table5_accuracy",
+    "K_VALUES",
+    "epoch_model_for",
+    "pattern_for",
+    "scaled_k",
+    "format_table",
+]

@@ -1,0 +1,101 @@
+"""Fig. 10 — convergence of MaxK-GNN vs the ReLU baseline (ogbn-products).
+
+The paper trains GraphSAGE full-batch on ogbn-products with ReLU and with
+MaxK at k = 64 / 32 / 8 (hidden 256) and shows all variants converge to
+similar test accuracy, lower-k runs converging slightly faster early on.
+
+We train on the scaled ogbn-products stand-in with the paper's k-to-hidden
+ratios mapped onto the scaled width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..graphs import TRAINING_CONFIGS, load_training_dataset
+from ..models import GNNConfig, MaxKGNN
+from ..training import Trainer, TrainResult
+from .common import format_table, scaled_k
+
+__all__ = ["ConvergenceResult", "run", "report"]
+
+#: Paper k values at hidden 256.
+PAPER_K_VALUES = [64, 32, 8]
+
+
+@dataclass(frozen=True)
+class ConvergenceResult:
+    """Test-metric curves per variant, recorded every ``eval_every`` epochs."""
+
+    curves: Dict[str, TrainResult]
+    epochs: int
+    dataset: str
+
+    def final_metric(self, variant: str) -> float:
+        return self.curves[variant].final_test
+
+    def variants(self) -> List[str]:
+        return list(self.curves)
+
+
+def run(
+    dataset: str = "ogbn-products",
+    paper_k_values: List[int] = None,
+    epochs: Optional[int] = None,
+    eval_every: int = 10,
+    seed: int = 0,
+) -> ConvergenceResult:
+    """Train the ReLU baseline and each MaxK variant; collect curves."""
+    if paper_k_values is None:
+        paper_k_values = PAPER_K_VALUES
+    cfg = TRAINING_CONFIGS[dataset]
+    if epochs is None:
+        epochs = cfg.epochs
+    graph = load_training_dataset(dataset, seed=seed)
+
+    variants: Dict[str, TrainResult] = {}
+
+    def train_variant(label: str, nonlinearity: str, k: int = None) -> None:
+        config = GNNConfig(
+            model_type="sage",
+            in_features=cfg.n_features,
+            hidden=cfg.hidden,
+            out_features=int(graph.labels.max()) + 1 if not graph.multilabel
+            else graph.labels.shape[1],
+            n_layers=cfg.layers,
+            nonlinearity=nonlinearity,
+            k=k,
+            dropout=cfg.dropout,
+        )
+        model = MaxKGNN(graph, config, seed=seed)
+        trainer = Trainer(model, graph, lr=cfg.lr)
+        variants[label] = trainer.fit(epochs, eval_every=eval_every)
+
+    train_variant("relu", "relu")
+    for paper_k in paper_k_values:
+        k = scaled_k(paper_k, cfg)
+        train_variant(f"maxk_k{paper_k}", "maxk", k=k)
+    return ConvergenceResult(curves=variants, epochs=epochs, dataset=dataset)
+
+
+def report(result: ConvergenceResult = None) -> str:
+    if result is None:
+        result = run()
+    rows = [
+        (
+            variant,
+            curve.final_test,
+            curve.best_val,
+            len(curve.train_losses),
+        )
+        for variant, curve in result.curves.items()
+    ]
+    table = format_table(
+        ["variant", "final_test", "best_val", "epochs"], rows
+    )
+    return (
+        f"{table}\n"
+        "Paper Fig. 10: MaxK variants converge like (or slightly faster "
+        "than) the ReLU baseline."
+    )

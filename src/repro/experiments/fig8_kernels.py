@@ -1,0 +1,159 @@
+"""Fig. 8 — SpGEMM / SSpMM kernel speedup over cuSPARSE and GNNAdvisor SpMM.
+
+The paper sweeps k ∈ {2,...,192} at original hidden dimension 256 over all
+24 Table-1 graphs and reports four speedup series per graph:
+
+* forward SpGEMM vs cuSPARSE SpMM and vs GNNAdvisor SpMM,
+* backward SSpMM vs cuSPARSE SpMM and vs GNNAdvisor SpMM.
+
+We regenerate every series from the kernel cost models at the published
+graph sizes. Headline aggregate claims reproduced here:
+
+* for graphs with avg degree > 50, mean SpGEMM speedup vs cuSPARSE at
+  k = 8/16/32/64 is 4.63/4.15/2.54/1.46× (SSpMM: 6.93/5.39/2.55/1.46×);
+* speedup grows as k shrinks and saturates below k ≈ 8 (the k-independent
+  accumulation stage);
+* with k ≤ 128, SpGEMM beats cuSPARSE on ≥ 92.2% of cases and GNNAdvisor
+  on 100%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..gpusim import (
+    A100,
+    DeviceModel,
+    cusparse_spmm_cost,
+    gnnadvisor_spmm_cost,
+    spgemm_cost,
+    sspmm_cost,
+)
+from ..graphs import TABLE1_GRAPHS, kernel_benchmark_names
+from .common import K_VALUES, format_table, pattern_for
+
+__all__ = ["KernelSweepResult", "run", "report", "high_degree_mean_speedups"]
+
+DIM_ORIGIN = 256
+HIGH_DEGREE_THRESHOLD = 50.0
+
+
+@dataclass(frozen=True)
+class KernelSweepResult:
+    """Speedups per graph per k: series name → graph → {k: speedup}."""
+
+    series: Dict[str, Dict[str, Dict[int, float]]]
+    k_values: List[int]
+    dim_origin: int
+
+    def speedup(self, series: str, graph: str, k: int) -> float:
+        return self.series[series][graph][k]
+
+    def win_fraction(self, series: str, max_k: int = 128) -> float:
+        """Fraction of (graph, k ≤ max_k) cases with speedup > 1."""
+        wins = total = 0
+        for per_graph in self.series[series].values():
+            for k, speedup in per_graph.items():
+                if k <= max_k:
+                    total += 1
+                    wins += speedup > 1.0
+        return wins / total if total else 0.0
+
+
+def run(
+    graphs: List[str] = None,
+    k_values: List[int] = None,
+    dim_origin: int = DIM_ORIGIN,
+    device: DeviceModel = A100,
+) -> KernelSweepResult:
+    """Sweep all four speedup series over graphs × k."""
+    if graphs is None:
+        graphs = kernel_benchmark_names()
+    if k_values is None:
+        k_values = K_VALUES
+    series: Dict[str, Dict[str, Dict[int, float]]] = {
+        name: {}
+        for name in (
+            "spgemm_vs_cusparse",
+            "spgemm_vs_gnnadvisor",
+            "sspmm_vs_cusparse",
+            "sspmm_vs_gnnadvisor",
+        )
+    }
+    for graph in graphs:
+        pattern = pattern_for(graph)
+        cusparse = cusparse_spmm_cost(pattern, dim_origin, device).latency
+        gnnadvisor = gnnadvisor_spmm_cost(pattern, dim_origin, device).latency
+        for name in series:
+            series[name][graph] = {}
+        for k in k_values:
+            forward = spgemm_cost(pattern, dim_origin, k, device).latency
+            backward = sspmm_cost(pattern, dim_origin, k, device).latency
+            series["spgemm_vs_cusparse"][graph][k] = cusparse / forward
+            series["spgemm_vs_gnnadvisor"][graph][k] = gnnadvisor / forward
+            series["sspmm_vs_cusparse"][graph][k] = cusparse / backward
+            series["sspmm_vs_gnnadvisor"][graph][k] = gnnadvisor / backward
+    return KernelSweepResult(
+        series=series, k_values=list(k_values), dim_origin=dim_origin
+    )
+
+
+def high_degree_mean_speedups(
+    result: KernelSweepResult, series: str, k_values: List[int] = (8, 16, 32, 64)
+) -> Dict[int, float]:
+    """Mean speedup over graphs with avg degree > 50 (the paper's aggregate)."""
+    graphs = [
+        name
+        for name in result.series[series]
+        if TABLE1_GRAPHS[name].avg_degree > HIGH_DEGREE_THRESHOLD
+    ]
+    if not graphs:
+        raise ValueError("no high-degree graphs in the sweep")
+    return {
+        k: sum(result.series[series][g][k] for g in graphs) / len(graphs)
+        for k in k_values
+    }
+
+
+def report(result: KernelSweepResult = None) -> str:
+    if result is None:
+        result = run()
+    rows = []
+    for graph in sorted(result.series["spgemm_vs_cusparse"]):
+        for k in result.k_values:
+            rows.append(
+                (
+                    graph,
+                    k,
+                    result.speedup("spgemm_vs_cusparse", graph, k),
+                    result.speedup("spgemm_vs_gnnadvisor", graph, k),
+                    result.speedup("sspmm_vs_cusparse", graph, k),
+                    result.speedup("sspmm_vs_gnnadvisor", graph, k),
+                )
+            )
+    table = format_table(
+        [
+            "graph",
+            "k",
+            "spgemm/cusp",
+            "spgemm/gnna",
+            "sspmm/cusp",
+            "sspmm/gnna",
+        ],
+        rows,
+        precision=2,
+    )
+    try:
+        forward_means = high_degree_mean_speedups(result, "spgemm_vs_cusparse")
+        backward_means = high_degree_mean_speedups(result, "sspmm_vs_cusparse")
+    except ValueError:
+        return table  # no high-degree graph in a restricted sweep
+    summary = (
+        "high-degree (avg>50) mean vs cuSPARSE — "
+        f"SpGEMM: {', '.join(f'k={k}: {v:.2f}x' for k, v in forward_means.items())} "
+        "(paper 4.63/4.15/2.54/1.46); "
+        f"SSpMM: {', '.join(f'k={k}: {v:.2f}x' for k, v in backward_means.items())} "
+        "(paper 6.93/5.39/2.55/1.46)"
+    )
+    return f"{table}\n{summary}"

@@ -1,0 +1,108 @@
+"""Fig. 9 — system-level training speedup across k, models and datasets.
+
+For each of GraphSAGE / GCN / GIN on Flickr / Yelp / Reddit / ogbn-products /
+ogbn-proteins, the paper sweeps k and plots the epoch speedup of MaxK-GNN
+over the DGL (cuSPARSE) and GNNAdvisor baselines, together with the Amdahl
+limit lines ``1 / (1 - p_SpMM)``.
+
+Reproduced claims:
+
+* Reddit and ogbn-proteins admit > 3× speedups at suitable k;
+* ogbn-products / Yelp / Flickr are Amdahl-limited to ~1.1-2×;
+* every measured speedup stays below its Amdahl limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..gpusim import A100, DeviceModel
+from ..graphs import TRAINING_DATASETS
+from .common import K_VALUES, epoch_model_for, format_table
+
+__all__ = ["SystemSweepResult", "run", "report"]
+
+MODELS = ["sage", "gcn", "gin"]
+BASELINES = ["cusparse", "gnnadvisor"]
+
+
+@dataclass(frozen=True)
+class SystemSweepResult:
+    """speedups[model][dataset][baseline][k] plus Amdahl limits."""
+
+    speedups: Dict[str, Dict[str, Dict[str, Dict[int, float]]]]
+    limits: Dict[str, Dict[str, Dict[str, float]]]
+    k_values: List[int]
+
+    def speedup(self, model: str, dataset: str, baseline: str, k: int) -> float:
+        return self.speedups[model][dataset][baseline][k]
+
+    def limit(self, model: str, dataset: str, baseline: str) -> float:
+        return self.limits[model][dataset][baseline]
+
+
+def run(
+    models: List[str] = None,
+    datasets: List[str] = None,
+    k_values: List[int] = None,
+    device: DeviceModel = A100,
+) -> SystemSweepResult:
+    if models is None:
+        models = MODELS
+    if datasets is None:
+        datasets = TRAINING_DATASETS
+    if k_values is None:
+        k_values = K_VALUES
+    speedups: Dict[str, Dict[str, Dict[str, Dict[int, float]]]] = {}
+    limits: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for model in models:
+        speedups[model] = {}
+        limits[model] = {}
+        for dataset in datasets:
+            cost_model = epoch_model_for(dataset, model, device)
+            speedups[model][dataset] = {b: {} for b in BASELINES}
+            limits[model][dataset] = {
+                b: cost_model.amdahl_limit(b) for b in BASELINES
+            }
+            for k in k_values:
+                for baseline in BASELINES:
+                    speedups[model][dataset][baseline][k] = cost_model.speedup(
+                        k, baseline
+                    )
+    return SystemSweepResult(
+        speedups=speedups, limits=limits, k_values=list(k_values)
+    )
+
+
+def report(result: SystemSweepResult = None) -> str:
+    if result is None:
+        result = run()
+    rows = []
+    for model, per_dataset in result.speedups.items():
+        for dataset, per_baseline in per_dataset.items():
+            for k in result.k_values:
+                rows.append(
+                    (
+                        model,
+                        dataset,
+                        k,
+                        per_baseline["cusparse"][k],
+                        per_baseline["gnnadvisor"][k],
+                        result.limits[model][dataset]["cusparse"],
+                        result.limits[model][dataset]["gnnadvisor"],
+                    )
+                )
+    return format_table(
+        [
+            "model",
+            "dataset",
+            "k",
+            "spd_cusp",
+            "spd_gnna",
+            "limit_cusp",
+            "limit_gnna",
+        ],
+        rows,
+        precision=2,
+    )

@@ -1,0 +1,49 @@
+"""Dense GEMM and elementwise kernel cost models.
+
+These cover the non-SpMM parts of a GNN training epoch — the linear layers,
+activations, dropout, residual adds and the optimizer — which form the
+serial fraction in the Amdahl analysis of Fig. 9.
+"""
+
+from __future__ import annotations
+
+from ..device import DeviceModel
+from ..memory import TrafficReport
+from .base import KernelCost
+from .spmm import FLOAT_BYTES
+
+__all__ = ["gemm_cost", "elementwise_cost"]
+
+
+def gemm_cost(m: int, n: int, p: int, device: DeviceModel) -> KernelCost:
+    """Dense ``(m×n) @ (n×p)`` on the tensor/FP32 pipeline.
+
+    Latency is the max of the arithmetic time at peak FP32 throughput and
+    the time to stream the three operand matrices.
+    """
+    if min(m, n, p) <= 0:
+        raise ValueError("GEMM dimensions must be positive")
+    flops = 2.0 * m * n * p
+    traffic = TrafficReport()
+    traffic.add("operands", FLOAT_BYTES * (m * n + n * p + m * p))
+    compute_time = flops / device.peak_fp32_flops
+    memory_time = device.memory_time(traffic.total, device.util_gemm)
+    latency = device.launch_overhead + max(compute_time, memory_time)
+    return KernelCost(name="gemm", traffic=traffic, flops=flops, latency=latency)
+
+
+def elementwise_cost(
+    n_elements: int, device: DeviceModel, n_passes: int = 1, name: str = "elementwise"
+) -> KernelCost:
+    """Streaming elementwise kernel (ReLU / add / dropout / Adam update).
+
+    Each pass reads two operands and writes one (3 × 4 bytes per element).
+    """
+    if n_elements < 0 or n_passes < 0:
+        raise ValueError("element and pass counts must be non-negative")
+    traffic = TrafficReport()
+    traffic.add("stream", 3.0 * FLOAT_BYTES * n_elements * n_passes)
+    flops = float(n_elements * n_passes)
+    memory_time = device.memory_time(traffic.total, device.util_elementwise)
+    latency = device.launch_overhead * max(1, n_passes) + memory_time
+    return KernelCost(name=name, traffic=traffic, flops=flops, latency=latency)

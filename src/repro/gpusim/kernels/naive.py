@@ -1,0 +1,94 @@
+"""Naive kernel variants — the designs the paper argues *against*.
+
+These quantify the two §4 design decisions as ablations:
+
+* :func:`naive_spgemm_cost` — row-wise-product SpGEMM **without** the
+  shared-memory accumulation buffer: every multiply atomically updates the
+  output in global memory through the sparse ``sp_index`` mapping, i.e.
+  uncoalesced read-modify-write traffic per (nonzero × k) element. This is
+  the design Algorithm 1's ``Buf_w`` removes.
+* :func:`naive_sspmm_cost` — row-wise-product backward **without** dense-row
+  prefetching: elements of ``dX_l`` are gathered straight from global memory
+  according to ``sp_index``, so every gather moves a full sector for 4 useful
+  bytes. This is the design Algorithm 2's stage-1 buffering removes.
+
+Both run at a heavily reduced effective bandwidth (uncoalesced transactions
+waste most of each 32-byte sector), exposing roughly the gap the paper's
+coalescing machinery closes.
+"""
+
+from __future__ import annotations
+
+from ..device import DeviceModel
+from ..memory import TrafficReport, spgemm_traffic_bytes, sspmm_write_bytes
+from .base import KernelCost, SparsePattern, bounded_latency
+from .spmm import ADJ_BYTES_PER_NNZ, FLOAT_BYTES
+
+__all__ = ["naive_spgemm_cost", "naive_sspmm_cost", "SECTOR_BYTES"]
+
+#: Minimum global-memory transaction granularity (one sector).
+SECTOR_BYTES = 32
+#: Effective bandwidth utilisation of scattered atomic / gather streams.
+UNCOALESCED_UTILIZATION = 0.12
+
+
+def naive_spgemm_cost(
+    pattern: SparsePattern,
+    dim_origin: int,
+    dim_k: int,
+    device: DeviceModel,
+) -> KernelCost:
+    """Row-wise SpGEMM with global-memory sparse accumulation (no Buf_w).
+
+    Each of the ``k`` products per nonzero lands on an arbitrary output
+    column, so the atomic add touches one sector per element: read + write
+    of ``SECTOR_BYTES`` each, at uncoalesced utilisation.
+    """
+    if not 1 <= dim_k <= dim_origin:
+        raise ValueError("dim_k must be in [1, dim_origin]")
+    traffic = TrafficReport()
+    uint8 = dim_origin <= 256
+    traffic.add("cbsr_fetch", spgemm_traffic_bytes(dim_k, pattern.nnz, uint8))
+    traffic.add("adjacency", ADJ_BYTES_PER_NNZ * pattern.nnz)
+    traffic.add(
+        "global_sparse_atomic", 2.0 * SECTOR_BYTES * dim_k * pattern.nnz
+    )
+    traffic.add("output_write", FLOAT_BYTES * pattern.n_rows * dim_origin)
+    flops = 2.0 * pattern.nnz * dim_k
+    latency = bounded_latency(
+        device, traffic, flops, UNCOALESCED_UTILIZATION, device.l2_service_boost
+    )
+    return KernelCost(
+        name="naive_spgemm", traffic=traffic, flops=flops, latency=latency
+    )
+
+
+def naive_sspmm_cost(
+    pattern: SparsePattern,
+    dim_origin: int,
+    dim_k: int,
+    device: DeviceModel,
+) -> KernelCost:
+    """Row-wise backward SSpMM with direct irregular ``dX_l`` gathers.
+
+    Without the shared-memory prefetch, every ``sp_index``-directed fetch
+    from the dense gradient moves a full sector for one fp32 value.
+    """
+    if not 1 <= dim_k <= dim_origin:
+        raise ValueError("dim_k must be in [1, dim_origin]")
+    traffic = TrafficReport()
+    uint8 = dim_origin <= 256
+    index_bytes = 1 if uint8 else 4
+    traffic.add("sp_index_read", index_bytes * dim_k * pattern.nnz)
+    traffic.add("adjacency", ADJ_BYTES_PER_NNZ * pattern.nnz)
+    traffic.add(
+        "irregular_dense_gather", SECTOR_BYTES * dim_k * pattern.nnz
+    )
+    traffic.add("sp_data_write", sspmm_write_bytes(dim_k, pattern.nnz))
+    flops = 2.0 * pattern.nnz * dim_k
+    latency = bounded_latency(
+        device, traffic, flops, UNCOALESCED_UTILIZATION, device.l2_service_boost
+    )
+    return KernelCost(
+        name="naive_sspmm", traffic=traffic, flops=flops, latency=latency
+    )

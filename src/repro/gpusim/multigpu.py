@@ -1,0 +1,175 @@
+"""Multi-GPU partition-parallel training model (the BNS-GCN setting).
+
+The paper positions MaxK-GNN as orthogonal to partition-parallel systems
+like BNS-GCN [27]: each GPU owns one graph partition, exchanges boundary
+node features every layer, and runs the aggregation kernel locally. This
+module models that composition:
+
+* :func:`partition_stats` measures a real :class:`~repro.graphs.Partition`;
+* :class:`MultiGpuEpochModel` combines per-partition kernel costs (MaxK
+  SpGEMM/SSpMM or baseline SpMM) with an NVLink all-to-all boundary
+  exchange, whose volume shrinks with BNS boundary sampling *and* with
+  MaxK (a CBSR boundary row is ``5k`` bytes instead of ``4·dim``).
+
+The headline composition effect: MaxK accelerates both the kernel time and
+the communication time, so partition-parallel scaling curves keep their
+shape with a lower constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..graphs.graph import Graph
+from ..graphs.partition import Partition, boundary_nodes
+from .device import DeviceModel
+from .kernels import SparsePattern, cusparse_spmm_cost, spgemm_cost, sspmm_cost
+from .kernels.maxk_kernel import maxk_kernel_cost
+
+__all__ = ["PartitionStats", "partition_stats", "MultiGpuEpochModel"]
+
+#: NVLink 3.0 per-GPU aggregate bandwidth (A100), bytes/second.
+NVLINK_BANDWIDTH = 600e9
+#: Effective utilisation of the boundary all-gather.
+NVLINK_UTILIZATION = 0.7
+#: Per-round communication latency (launch + NCCL setup), seconds.
+COMM_LATENCY = 20e-6
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """Structural facts of a P-way partition the epoch model needs."""
+
+    n_parts: int
+    nodes_per_part: List[int]
+    edges_per_part: List[int]
+    boundary_per_part: List[int]
+
+    def __post_init__(self):
+        lists = (self.nodes_per_part, self.edges_per_part, self.boundary_per_part)
+        if any(len(values) != self.n_parts for values in lists):
+            raise ValueError("per-part lists must have n_parts entries")
+
+    @property
+    def total_boundary(self) -> int:
+        return int(sum(self.boundary_per_part))
+
+    def scaled(self, node_factor: float, edge_factor: float) -> "PartitionStats":
+        """Extrapolate the measured partition to a larger graph."""
+        if node_factor <= 0 or edge_factor <= 0:
+            raise ValueError("scale factors must be positive")
+        return PartitionStats(
+            n_parts=self.n_parts,
+            nodes_per_part=[int(n * node_factor) for n in self.nodes_per_part],
+            edges_per_part=[int(e * edge_factor) for e in self.edges_per_part],
+            boundary_per_part=[
+                int(b * node_factor) for b in self.boundary_per_part
+            ],
+        )
+
+
+def partition_stats(graph: Graph, partition: Partition) -> PartitionStats:
+    """Measure nodes / internal edges / boundary size of every part."""
+    assignment = partition.assignment
+    nodes, edges, boundaries = [], [], []
+    src_part = assignment[graph.src]
+    dst_part = assignment[graph.dst]
+    for part in range(partition.n_parts):
+        nodes.append(int((assignment == part).sum()))
+        edges.append(int(((src_part == part) & (dst_part == part)).sum()))
+        boundaries.append(len(boundary_nodes(graph, partition, part)))
+    return PartitionStats(
+        n_parts=partition.n_parts,
+        nodes_per_part=nodes,
+        edges_per_part=edges,
+        boundary_per_part=boundaries,
+    )
+
+
+class MultiGpuEpochModel:
+    """Per-epoch latency of P-way partition-parallel GNN training."""
+
+    def __init__(
+        self,
+        stats: PartitionStats,
+        hidden: int,
+        n_layers: int,
+        device: DeviceModel,
+        boundary_fraction: float = 1.0,
+        nvlink_bandwidth: float = NVLINK_BANDWIDTH,
+    ):
+        if not 0.0 <= boundary_fraction <= 1.0:
+            raise ValueError("boundary_fraction must be in [0, 1]")
+        if hidden <= 0 or n_layers <= 0:
+            raise ValueError("hidden and n_layers must be positive")
+        self.stats = stats
+        self.hidden = hidden
+        self.n_layers = n_layers
+        self.device = device
+        self.boundary_fraction = boundary_fraction
+        self.nvlink_bandwidth = nvlink_bandwidth
+
+    # ------------------------------------------------------------------
+    def _part_pattern(self, part: int) -> SparsePattern:
+        nodes = max(self.stats.nodes_per_part[part], 1)
+        edges = self.stats.edges_per_part[part]
+        return SparsePattern(n_rows=nodes, n_cols=nodes, nnz=edges)
+
+    def _comm_time(self, bytes_per_boundary_row: float) -> float:
+        """Per-layer boundary exchange: the largest sender bounds the round."""
+        rows = [
+            b * self.boundary_fraction for b in self.stats.boundary_per_part
+        ]
+        worst = max(rows) if rows else 0.0
+        volume = worst * bytes_per_boundary_row
+        return COMM_LATENCY + volume / (
+            self.nvlink_bandwidth * NVLINK_UTILIZATION
+        )
+
+    # ------------------------------------------------------------------
+    def baseline_epoch(self) -> float:
+        """ReLU baseline: dense SpMM per part + dense boundary exchange."""
+        kernel = max(
+            cusparse_spmm_cost(self._part_pattern(p), self.hidden, self.device)
+            .latency
+            for p in range(self.stats.n_parts)
+        )
+        comm = self._comm_time(4.0 * self.hidden)
+        # Forward + backward aggregation and two exchanges per layer.
+        return self.n_layers * (2 * kernel + 2 * comm)
+
+    def maxk_epoch(self, k: int) -> float:
+        """MaxK: SpGEMM + SSpMM per part + CBSR boundary exchange."""
+        if not 1 <= k <= self.hidden:
+            raise ValueError("k must be in [1, hidden]")
+        forward = max(
+            spgemm_cost(self._part_pattern(p), self.hidden, k, self.device)
+            .latency
+            for p in range(self.stats.n_parts)
+        )
+        backward = max(
+            sspmm_cost(self._part_pattern(p), self.hidden, k, self.device)
+            .latency
+            for p in range(self.stats.n_parts)
+        )
+        selection = maxk_kernel_cost(
+            max(self.stats.nodes_per_part), self.hidden, k, self.device
+        ).latency
+        # CBSR boundary rows: 5k bytes forward + 4k bytes of gradient back.
+        comm = self._comm_time(5.0 * k) + self._comm_time(4.0 * k)
+        return self.n_layers * (forward + backward + selection + comm)
+
+    def speedup(self, k: int) -> float:
+        """MaxK-over-baseline epoch speedup under partition parallelism."""
+        return self.baseline_epoch() / self.maxk_epoch(k)
+
+    def communication_fraction(self, k: int = None) -> float:
+        """Share of the epoch spent exchanging boundaries."""
+        if k is None:
+            comm = 2 * self.n_layers * self._comm_time(4.0 * self.hidden)
+            return comm / self.baseline_epoch()
+        comm = self.n_layers * (
+            self._comm_time(5.0 * k) + self._comm_time(4.0 * k)
+        )
+        return comm / self.maxk_epoch(k)

@@ -1,0 +1,75 @@
+"""Graph substrate: containers, generators, and the Table-1 dataset registry."""
+
+from .datasets import (
+    TABLE1_GRAPHS,
+    TRAINING_CONFIGS,
+    TRAINING_DATASETS,
+    GraphSpec,
+    TrainingConfig,
+    kernel_benchmark_names,
+    load_kernel_graph,
+    load_training_dataset,
+)
+from .features import (
+    attach_classification_task,
+    attach_multilabel_task,
+    random_splits,
+)
+from .generators import chain_of_cliques, erdos_renyi_graph, rmat_graph, sbm_graph
+from .graph import Graph, normalized_adjacency
+from .partition import (
+    Partition,
+    bfs_partition,
+    bns_sample,
+    boundary_nodes,
+    induced_subgraph,
+)
+from .reorder import (
+    REORDERINGS,
+    apply_permutation,
+    bfs_reorder,
+    community_sort_reorder,
+    degree_sort_reorder,
+    locality_score,
+)
+from .sampling import (
+    edge_sampler,
+    khop_neighborhood,
+    node_sampler,
+    random_walk_sampler,
+)
+
+__all__ = [
+    "Graph",
+    "normalized_adjacency",
+    "rmat_graph",
+    "sbm_graph",
+    "chain_of_cliques",
+    "erdos_renyi_graph",
+    "attach_classification_task",
+    "attach_multilabel_task",
+    "random_splits",
+    "GraphSpec",
+    "TrainingConfig",
+    "TABLE1_GRAPHS",
+    "TRAINING_DATASETS",
+    "TRAINING_CONFIGS",
+    "kernel_benchmark_names",
+    "load_kernel_graph",
+    "load_training_dataset",
+    "Partition",
+    "bfs_partition",
+    "boundary_nodes",
+    "induced_subgraph",
+    "bns_sample",
+    "apply_permutation",
+    "degree_sort_reorder",
+    "bfs_reorder",
+    "community_sort_reorder",
+    "locality_score",
+    "REORDERINGS",
+    "node_sampler",
+    "edge_sampler",
+    "random_walk_sampler",
+    "khop_neighborhood",
+]

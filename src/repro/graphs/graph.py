@@ -1,0 +1,155 @@
+"""Graph container with the aggregator normalisations of Fig. 5.
+
+The paper's dataflow figure annotates the adjacency edge weights per model:
+
+* GraphSAGE (mean aggregator): ``1 / d_i`` (in-degree of the destination);
+* GCN: ``1 / sqrt(d_i * d_j)`` with self-loops added;
+* GIN: ``1`` (sum aggregator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..sparse import CSRMatrix, coo_to_csr
+
+__all__ = ["Graph", "normalized_adjacency"]
+
+
+@dataclass
+class Graph:
+    """A directed graph with optional node features / labels / splits.
+
+    Edges are stored as ``(src, dst)`` arrays; the adjacency matrix ``A`` has
+    ``A[dst, src] = w`` so that ``A @ X`` aggregates source features into
+    destinations, as in the paper's feature-aggregation stage.
+    """
+
+    n_nodes: int
+    src: np.ndarray
+    dst: np.ndarray
+    features: Optional[np.ndarray] = None
+    labels: Optional[np.ndarray] = None
+    train_mask: Optional[np.ndarray] = None
+    val_mask: Optional[np.ndarray] = None
+    test_mask: Optional[np.ndarray] = None
+    name: str = "graph"
+    #: True when ``labels`` is a multi-hot (n_nodes, n_classes) matrix.
+    multilabel: bool = False
+    #: Planted community assignment (set by the SBM generator).
+    communities: Optional[np.ndarray] = None
+    _adj_cache: Dict[str, CSRMatrix] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        self.src = np.asarray(self.src, dtype=np.int64)
+        self.dst = np.asarray(self.dst, dtype=np.int64)
+        if self.src.shape != self.dst.shape:
+            raise ValueError("src and dst must have equal length")
+        if len(self.src) and (
+            self.src.min() < 0
+            or self.dst.min() < 0
+            or self.src.max() >= self.n_nodes
+            or self.dst.max() >= self.n_nodes
+        ):
+            raise ValueError("edge endpoints out of range")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_edges(self) -> int:
+        return len(self.src)
+
+    @property
+    def avg_degree(self) -> float:
+        return self.n_edges / self.n_nodes if self.n_nodes else 0.0
+
+    def in_degrees(self) -> np.ndarray:
+        deg = np.zeros(self.n_nodes, dtype=np.int64)
+        np.add.at(deg, self.dst, 1)
+        return deg
+
+    def out_degrees(self) -> np.ndarray:
+        deg = np.zeros(self.n_nodes, dtype=np.int64)
+        np.add.at(deg, self.src, 1)
+        return deg
+
+    def degree_skew(self) -> float:
+        """Gini coefficient of the in-degree distribution (0 = uniform).
+
+        High skew is what produces "evil rows" and warp imbalance in
+        row-centric SpMM designs.
+        """
+        deg = np.sort(self.in_degrees().astype(np.float64))
+        n = len(deg)
+        if n == 0 or deg.sum() == 0:
+            return 0.0
+        cumulative = np.cumsum(deg)
+        return float((n + 1 - 2 * (cumulative / cumulative[-1]).sum()) / n)
+
+    # ------------------------------------------------------------------
+    def adjacency(self, norm: str = "none") -> CSRMatrix:
+        """The (optionally normalised) adjacency in CSR form, cached.
+
+        ``norm`` is one of ``none``/``gin`` (unit weights), ``sage``
+        (1/d mean aggregator) or ``gcn`` (symmetric with self-loops).
+        """
+        key = "none" if norm == "gin" else norm
+        if key not in self._adj_cache:
+            self._adj_cache[key] = normalized_adjacency(self, key)
+        return self._adj_cache[key]
+
+    def to_undirected(self) -> "Graph":
+        """Add reverse edges (deduplicated by the CSR constructor downstream)."""
+        return Graph(
+            n_nodes=self.n_nodes,
+            src=np.concatenate([self.src, self.dst]),
+            dst=np.concatenate([self.dst, self.src]),
+            features=self.features,
+            labels=self.labels,
+            train_mask=self.train_mask,
+            val_mask=self.val_mask,
+            test_mask=self.test_mask,
+            name=self.name,
+            multilabel=self.multilabel,
+            communities=self.communities,
+        )
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "name": self.name,
+            "n_nodes": self.n_nodes,
+            "n_edges": self.n_edges,
+            "avg_degree": round(self.avg_degree, 2),
+            "degree_skew": round(self.degree_skew(), 3),
+        }
+
+
+def normalized_adjacency(graph: Graph, norm: str = "none") -> CSRMatrix:
+    """Build the normalised adjacency matrix for an aggregator type.
+
+    ``none``: ``A[dst, src] = 1`` (GIN sum aggregator).
+    ``sage``: rows scaled by 1 / in-degree (mean aggregator).
+    ``gcn``:  self-loops added, then ``D^{-1/2} (A + I) D^{-1/2}``.
+    """
+    shape: Tuple[int, int] = (graph.n_nodes, graph.n_nodes)
+    if norm in ("none", "gin"):
+        return CSRMatrix.from_edges(graph.src, graph.dst, shape)
+    if norm == "sage":
+        adj = CSRMatrix.from_edges(graph.src, graph.dst, shape)
+        degrees = adj.row_degrees().astype(np.float64)
+        inv = np.divide(1.0, degrees, out=np.zeros_like(degrees), where=degrees > 0)
+        return adj.scale_rows(inv)
+    if norm == "gcn":
+        loop = np.arange(graph.n_nodes, dtype=np.int64)
+        rows = np.concatenate([graph.dst, loop])
+        cols = np.concatenate([graph.src, loop])
+        data = np.ones(len(rows), dtype=np.float64)
+        adj = coo_to_csr(rows, cols, data, shape)
+        degrees = adj.row_degrees().astype(np.float64)
+        inv_sqrt = np.divide(
+            1.0, np.sqrt(degrees), out=np.zeros_like(degrees), where=degrees > 0
+        )
+        return adj.scale_rows(inv_sqrt).scale_cols(inv_sqrt)
+    raise ValueError(f"unknown normalisation {norm!r}; use none/gin/sage/gcn")

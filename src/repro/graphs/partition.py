@@ -1,0 +1,191 @@
+"""Graph partitioning and boundary sampling (BNS-GCN / Cluster-GCN role).
+
+§1 of the paper states the MaxK constructs "align with current methods
+employed in graph partitioning [27, 32]" — BNS-GCN's partition-parallel
+training with random boundary-node sampling and Cluster-GCN's subgraph
+batches. This module provides that substrate:
+
+* :func:`bfs_partition` — a light BFS-grown P-way partitioner (the METIS
+  role at laptop scale);
+* :func:`boundary_nodes` — per-partition halo sets;
+* :func:`induced_subgraph` — node-induced training subgraphs;
+* :func:`bns_sample` — BNS-GCN-style random boundary sampling: keep a
+  fraction of each partition's boundary, drop the rest of the halo.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = [
+    "Partition",
+    "bfs_partition",
+    "boundary_nodes",
+    "induced_subgraph",
+    "bns_sample",
+]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A P-way node partition: ``assignment[v]`` is node v's part id."""
+
+    assignment: np.ndarray
+    n_parts: int
+
+    def __post_init__(self):
+        assignment = np.asarray(self.assignment, dtype=np.int64)
+        if assignment.ndim != 1:
+            raise ValueError("assignment must be 1-D")
+        if assignment.size and (
+            assignment.min() < 0 or assignment.max() >= self.n_parts
+        ):
+            raise ValueError("part ids out of range")
+        object.__setattr__(self, "assignment", assignment)
+
+    def members(self, part: int) -> np.ndarray:
+        return np.where(self.assignment == part)[0]
+
+    def sizes(self) -> np.ndarray:
+        counts = np.zeros(self.n_parts, dtype=np.int64)
+        np.add.at(counts, self.assignment, 1)
+        return counts
+
+    def edge_cut(self, graph: Graph) -> int:
+        """Number of edges crossing partition boundaries."""
+        return int(
+            (self.assignment[graph.src] != self.assignment[graph.dst]).sum()
+        )
+
+
+def bfs_partition(graph: Graph, n_parts: int, seed: int = 0) -> Partition:
+    """Grow ``n_parts`` balanced parts by parallel BFS from random seeds.
+
+    Greedy frontier growth caps every part at ``ceil(n / P)`` nodes, then
+    sweeps up any unreached nodes round-robin — cheap, deterministic, and
+    good enough to expose the boundary-sampling behaviour BNS-GCN relies on.
+    """
+    if n_parts < 1:
+        raise ValueError("n_parts must be >= 1")
+    if n_parts > graph.n_nodes:
+        raise ValueError("more parts than nodes")
+    rng = np.random.default_rng(seed)
+    capacity = -(-graph.n_nodes // n_parts)
+
+    neighbours: Dict[int, List[int]] = {}
+    for s, d in zip(graph.src, graph.dst):
+        neighbours.setdefault(int(s), []).append(int(d))
+        neighbours.setdefault(int(d), []).append(int(s))
+
+    assignment = np.full(graph.n_nodes, -1, dtype=np.int64)
+    sizes = np.zeros(n_parts, dtype=np.int64)
+    seeds = rng.choice(graph.n_nodes, size=n_parts, replace=False)
+    queues = [deque([int(s)]) for s in seeds]
+    for part, seed_node in enumerate(seeds):
+        assignment[seed_node] = part
+        sizes[part] += 1
+
+    progress = True
+    while progress:
+        progress = False
+        for part in range(n_parts):
+            queue = queues[part]
+            while queue and sizes[part] < capacity:
+                node = queue.popleft()
+                expanded = False
+                for neighbour in neighbours.get(node, ()):
+                    if assignment[neighbour] == -1 and sizes[part] < capacity:
+                        assignment[neighbour] = part
+                        sizes[part] += 1
+                        queue.append(neighbour)
+                        expanded = True
+                progress = progress or expanded
+                if expanded:
+                    break  # round-robin between parts for balance
+
+    unassigned = np.where(assignment == -1)[0]
+    for i, node in enumerate(unassigned):
+        # Fill the currently smallest part.
+        part = int(np.argmin(sizes))
+        assignment[node] = part
+        sizes[part] += 1
+    return Partition(assignment=assignment, n_parts=n_parts)
+
+
+def boundary_nodes(graph: Graph, partition: Partition, part: int) -> np.ndarray:
+    """Nodes of ``part`` with at least one edge to/from another part."""
+    assignment = partition.assignment
+    crossing = assignment[graph.src] != assignment[graph.dst]
+    candidates = np.concatenate(
+        [graph.src[crossing], graph.dst[crossing]]
+    )
+    candidates = candidates[assignment[candidates] == part]
+    return np.unique(candidates)
+
+
+def induced_subgraph(graph: Graph, nodes: np.ndarray) -> Graph:
+    """Node-induced subgraph with re-indexed, consistently sliced payloads."""
+    nodes = np.unique(np.asarray(nodes, dtype=np.int64))
+    if nodes.size and (nodes.min() < 0 or nodes.max() >= graph.n_nodes):
+        raise ValueError("node ids out of range")
+    local_id = np.full(graph.n_nodes, -1, dtype=np.int64)
+    local_id[nodes] = np.arange(nodes.size)
+    keep = (local_id[graph.src] >= 0) & (local_id[graph.dst] >= 0)
+
+    def slice_rows(array):
+        return None if array is None else np.asarray(array)[nodes]
+
+    return Graph(
+        n_nodes=int(nodes.size),
+        src=local_id[graph.src[keep]],
+        dst=local_id[graph.dst[keep]],
+        features=slice_rows(graph.features),
+        labels=slice_rows(graph.labels),
+        train_mask=slice_rows(graph.train_mask),
+        val_mask=slice_rows(graph.val_mask),
+        test_mask=slice_rows(graph.test_mask),
+        name=f"{graph.name}-sub",
+        multilabel=graph.multilabel,
+        communities=slice_rows(graph.communities),
+    )
+
+
+def bns_sample(
+    graph: Graph,
+    partition: Partition,
+    part: int,
+    boundary_fraction: float = 0.1,
+    seed: int = 0,
+) -> Graph:
+    """BNS-GCN-style training subgraph for one partition.
+
+    Keeps every interior node of ``part`` plus a random
+    ``boundary_fraction`` of the *other* parts' nodes adjacent to it (the
+    sampled halo), then induces the subgraph.
+    """
+    if not 0.0 <= boundary_fraction <= 1.0:
+        raise ValueError("boundary_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    assignment = partition.assignment
+    own = partition.members(part)
+
+    src_in = assignment[graph.src] == part
+    dst_in = assignment[graph.dst] == part
+    halo = np.unique(
+        np.concatenate(
+            [graph.dst[src_in & ~dst_in], graph.src[dst_in & ~src_in]]
+        )
+    )
+    n_keep = int(round(halo.size * boundary_fraction))
+    kept_halo = (
+        rng.choice(halo, size=n_keep, replace=False)
+        if n_keep
+        else np.empty(0, dtype=np.int64)
+    )
+    return induced_subgraph(graph, np.concatenate([own, kept_halo]))

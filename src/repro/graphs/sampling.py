@@ -1,0 +1,125 @@
+"""Subgraph sampling (the GraphSAINT / Betty role).
+
+The paper positions MaxK-GNN as compatible with "current methods employed
+in … graph sampling [28, 33]". These samplers produce the mini-batch
+subgraphs such trainers consume; MaxK layers run on them unchanged.
+
+* :func:`node_sampler` — GraphSAINT random-node sampler;
+* :func:`edge_sampler` — GraphSAINT random-edge sampler (union of
+  endpoints, induced);
+* :func:`random_walk_sampler` — GraphSAINT random-walk sampler;
+* :func:`khop_neighborhood` — GraphSAGE-style fan-out-limited k-hop
+  neighbourhood around seed nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from .graph import Graph
+from .partition import induced_subgraph
+
+__all__ = [
+    "node_sampler",
+    "edge_sampler",
+    "random_walk_sampler",
+    "khop_neighborhood",
+]
+
+
+def node_sampler(graph: Graph, n_nodes: int, seed: int = 0) -> Graph:
+    """Uniform random-node induced subgraph (GraphSAINT-Node)."""
+    if not 1 <= n_nodes <= graph.n_nodes:
+        raise ValueError("n_nodes must be in [1, graph.n_nodes]")
+    rng = np.random.default_rng(seed)
+    nodes = rng.choice(graph.n_nodes, size=n_nodes, replace=False)
+    return induced_subgraph(graph, nodes)
+
+
+def edge_sampler(graph: Graph, n_edges: int, seed: int = 0) -> Graph:
+    """Random-edge sampler (GraphSAINT-Edge): endpoints of sampled edges."""
+    if graph.n_edges == 0:
+        raise ValueError("graph has no edges to sample")
+    if n_edges < 1:
+        raise ValueError("n_edges must be positive")
+    rng = np.random.default_rng(seed)
+    picked = rng.choice(graph.n_edges, size=min(n_edges, graph.n_edges),
+                        replace=False)
+    nodes = np.unique(
+        np.concatenate([graph.src[picked], graph.dst[picked]])
+    )
+    return induced_subgraph(graph, nodes)
+
+
+def _out_neighbours(graph: Graph) -> Dict[int, List[int]]:
+    table: Dict[int, List[int]] = {}
+    for s, d in zip(graph.src, graph.dst):
+        table.setdefault(int(s), []).append(int(d))
+    return table
+
+
+def random_walk_sampler(
+    graph: Graph, n_roots: int, walk_length: int, seed: int = 0
+) -> Graph:
+    """Random-walk sampler (GraphSAINT-RW): union of all walk nodes."""
+    if n_roots < 1 or walk_length < 1:
+        raise ValueError("n_roots and walk_length must be positive")
+    rng = np.random.default_rng(seed)
+    neighbours = _out_neighbours(graph)
+    visited = set()
+    roots = rng.choice(graph.n_nodes, size=min(n_roots, graph.n_nodes),
+                       replace=False)
+    for root in roots:
+        node = int(root)
+        visited.add(node)
+        for _ in range(walk_length):
+            successors = neighbours.get(node)
+            if not successors:
+                break
+            node = successors[rng.integers(0, len(successors))]
+            visited.add(node)
+    return induced_subgraph(graph, np.array(sorted(visited), dtype=np.int64))
+
+
+def khop_neighborhood(
+    graph: Graph,
+    seeds: np.ndarray,
+    n_hops: int,
+    fanout: int,
+    rng_seed: int = 0,
+) -> Graph:
+    """Fan-out-limited k-hop neighbourhood (GraphSAGE mini-batching).
+
+    Expands ``n_hops`` times, keeping at most ``fanout`` random in-edges
+    per frontier node, then induces the subgraph over everything reached.
+    """
+    if n_hops < 0 or fanout < 1:
+        raise ValueError("n_hops must be >= 0 and fanout >= 1")
+    seeds = np.unique(np.asarray(seeds, dtype=np.int64))
+    if seeds.size and (seeds.min() < 0 or seeds.max() >= graph.n_nodes):
+        raise ValueError("seed ids out of range")
+    rng = np.random.default_rng(rng_seed)
+
+    in_neighbours: Dict[int, List[int]] = {}
+    for s, d in zip(graph.src, graph.dst):
+        in_neighbours.setdefault(int(d), []).append(int(s))
+
+    reached = set(int(s) for s in seeds)
+    frontier = list(reached)
+    for _ in range(n_hops):
+        next_frontier: List[int] = []
+        for node in frontier:
+            parents = in_neighbours.get(node, [])
+            if len(parents) > fanout:
+                chosen = rng.choice(len(parents), size=fanout, replace=False)
+                parents = [parents[i] for i in chosen]
+            for parent in parents:
+                if parent not in reached:
+                    reached.add(parent)
+                    next_frontier.append(parent)
+        frontier = next_frontier
+        if not frontier:
+            break
+    return induced_subgraph(graph, np.array(sorted(reached), dtype=np.int64))

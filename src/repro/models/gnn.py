@@ -1,0 +1,83 @@
+"""Full GNN models: stacks of convolution layers plus a classifier head.
+
+``MaxKGNN`` is the trainable model of the system evaluation (§5.3): a
+GraphSAGE / GCN / GIN stack whose nonlinearity is either ReLU (baseline) or
+MaxK with a chosen ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..graphs import Graph
+from ..tensor import Tensor, dropout
+from .layers import make_conv
+from .modules import Linear, Module
+
+__all__ = ["GNNConfig", "MaxKGNN"]
+
+
+@dataclass(frozen=True)
+class GNNConfig:
+    """Architecture hyperparameters for a MaxKGNN."""
+
+    model_type: str  # "sage" | "gcn" | "gin"
+    in_features: int
+    hidden: int
+    out_features: int
+    n_layers: int
+    nonlinearity: str = "relu"  # "relu" | "maxk"
+    k: Optional[int] = None
+    dropout: float = 0.0
+    #: Execute the literal CBSR SpGEMM/SSpMM dataflow in MaxK layers.
+    use_cbsr_kernels: bool = False
+
+    def __post_init__(self):
+        if self.n_layers < 1:
+            raise ValueError("need at least one layer")
+        if self.nonlinearity == "maxk" and self.k is None:
+            raise ValueError("MaxK models need k")
+
+
+class MaxKGNN(Module):
+    """A full-batch GNN with swappable nonlinearity.
+
+    Structure: ``n_layers`` graph convolutions (dims: in → hidden → … →
+    hidden) followed by a dense classifier ``hidden → out_features``.
+    Dropout is applied on every convolution input while training.
+    """
+
+    def __init__(self, graph: Graph, config: GNNConfig, seed: int = 0):
+        super().__init__()
+        self.config = config
+        self.graph = graph
+        rng = np.random.default_rng(seed)
+        self._dropout_rng = np.random.default_rng(seed + 1)
+
+        self.convs: List[Module] = []
+        for layer in range(config.n_layers):
+            in_dim = config.in_features if layer == 0 else config.hidden
+            conv = make_conv(
+                config.model_type,
+                graph,
+                in_dim,
+                config.hidden,
+                rng,
+                nonlinearity=config.nonlinearity,
+                k=config.k,
+                use_cbsr_kernels=config.use_cbsr_kernels,
+            )
+            self.convs.append(conv)
+            setattr(self, f"conv{layer}", conv)
+        self.classifier = Linear(config.hidden, config.out_features, rng)
+
+    def forward(self, x) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        for conv in self.convs:
+            x = dropout(x, self.config.dropout, self.training, self._dropout_rng)
+            x = conv(x)
+        return self.classifier(x)

@@ -1,0 +1,70 @@
+"""Minimal neural-network module system over the autograd substrate."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from ..tensor import Tensor, xavier_uniform, zeros
+
+__all__ = ["Module", "Linear"]
+
+
+class Module:
+    """Base class: tracks child modules and parameters by attribute."""
+
+    def __init__(self):
+        self._modules: List[Module] = []
+        self._parameters: List[Tensor] = []
+        self.training = True
+
+    def __setattr__(self, name, value):
+        if isinstance(value, Module):
+            self.__dict__.setdefault("_modules", []).append(value)
+        elif isinstance(value, Tensor) and value.requires_grad:
+            self.__dict__.setdefault("_parameters", []).append(value)
+        super().__setattr__(name, value)
+
+    def parameters(self) -> Iterator[Tensor]:
+        yield from self._parameters
+        for module in self._modules:
+            yield from module.parameters()
+
+    def n_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def train(self, mode: bool = True):
+        self.training = mode
+        for module in self._modules:
+            module.train(mode)
+        return self
+
+    def eval(self):
+        return self.train(False)
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Dense affine layer ``X @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator,
+                 bias: bool = True):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = xavier_uniform(in_features, out_features, rng)
+        self.bias = zeros(out_features) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out

@@ -1,0 +1,23 @@
+"""Sparse-matrix substrate: CSR/CSC storage and warp-level partitioning."""
+
+from .csr import CSCMatrix, CSRMatrix, coo_to_csr
+from .partition import (
+    CASE_BOUNDARY_DIM_K,
+    WARP_SIZE,
+    EdgeGroup,
+    WarpPartition,
+    egs_per_warp,
+    partition_edge_groups,
+)
+
+__all__ = [
+    "CSRMatrix",
+    "CSCMatrix",
+    "coo_to_csr",
+    "EdgeGroup",
+    "WarpPartition",
+    "partition_edge_groups",
+    "egs_per_warp",
+    "WARP_SIZE",
+    "CASE_BOUNDARY_DIM_K",
+]

@@ -1,0 +1,43 @@
+"""From-scratch autograd substrate replacing the PyTorch front-end."""
+
+from .functional import (
+    bce_with_logits,
+    cross_entropy,
+    dropout,
+    log_softmax,
+    maxk,
+    maxout,
+    relu,
+    sigmoid,
+    spgemm_agg,
+    spmm_agg,
+)
+from .init import kaiming_uniform, xavier_uniform, zeros
+from .segment import exp, leaky_relu, segment_max_values, segment_sum
+from .optim import SGD, Adam
+from .tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "relu",
+    "maxk",
+    "maxout",
+    "spmm_agg",
+    "spgemm_agg",
+    "dropout",
+    "sigmoid",
+    "log_softmax",
+    "cross_entropy",
+    "bce_with_logits",
+    "Adam",
+    "SGD",
+    "xavier_uniform",
+    "kaiming_uniform",
+    "zeros",
+    "segment_sum",
+    "segment_max_values",
+    "exp",
+    "leaky_relu",
+]

@@ -1,0 +1,238 @@
+"""Differentiable operators for GNN training.
+
+The two operators at the heart of the paper live here:
+
+* :func:`maxk` — the MaxK nonlinearity; backward reuses the forward mask
+  (paper §3.1: "the feature gradient uses same feature sparsity pattern as
+  induced in forward").
+* :func:`spmm_agg` — feature aggregation ``X_out = A @ X``; its backward is
+  ``dX = A^T @ dX_out`` computed through the transposed CSR buffers, mirroring
+  the forward-SpGEMM / backward-SSpMM split of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.maxk import maxk_forward
+from ..sparse import CSRMatrix
+from .tensor import Tensor, is_grad_enabled
+
+__all__ = [
+    "relu",
+    "maxk",
+    "maxout",
+    "spmm_agg",
+    "spgemm_agg",
+    "dropout",
+    "sigmoid",
+    "log_softmax",
+    "cross_entropy",
+    "bce_with_logits",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    """Elementwise ReLU (the paper's baseline nonlinearity)."""
+    mask = x.data > 0
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad * mask)
+
+    return Tensor._make(np.where(mask, x.data, 0.0), (x,), backward)
+
+
+def maxk(x: Tensor, k: int) -> Tensor:
+    """MaxK nonlinearity: keep the k largest entries of every row.
+
+    With ``k == row width`` this is the identity. The backward pass routes
+    gradient only through the surviving positions.
+    """
+    out, mask = maxk_forward(x.data, k)
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(np.where(mask, grad, 0.0))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def maxout(x: Tensor, group_size: int) -> Tensor:
+    """Maxout nonlinearity (Goodfellow et al.), cited by the paper's
+    universal-approximation argument (§3.1, [51]).
+
+    Partitions every row into groups of ``group_size`` and keeps each
+    group's maximum, shrinking the width by ``group_size``. Unlike MaxK it
+    changes the output dimension — one reason MaxK is the
+    hardware-friendlier construction.
+    """
+    n_rows, dim = x.shape
+    if group_size <= 0 or dim % group_size != 0:
+        raise ValueError("group_size must divide the feature dimension")
+    n_groups = dim // group_size
+    grouped = x.data.reshape(n_rows, n_groups, group_size)
+    winners = grouped.argmax(axis=2)
+    out = np.take_along_axis(grouped, winners[:, :, None], axis=2)[:, :, 0]
+
+    def backward(grad):
+        if x.requires_grad:
+            full = np.zeros_like(grouped)
+            np.put_along_axis(
+                full, winners[:, :, None], np.asarray(grad)[:, :, None], axis=2
+            )
+            x._accumulate(full.reshape(n_rows, dim))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def spgemm_agg(adj: CSRMatrix, x: Tensor, k: int) -> Tensor:
+    """MaxK + aggregation through the paper's actual kernel dataflow.
+
+    Forward: MaxK-sparsify ``x``, compress to CBSR, and aggregate with the
+    row-wise-product **SpGEMM** kernel. Backward: compute the gradient at
+    the forward sparsity pattern with the outer-product **SSpMM** kernel,
+    scatter it dense, and route it through the MaxK mask — i.e. the exact
+    Fig.-5 training dataflow. Numerically identical to
+    ``spmm_agg(adj, maxk(x, k))`` (asserted by the integration tests), but
+    exercising the CBSR code path end to end.
+    """
+    # Imported here to avoid a circular import at package load.
+    from ..core.cbsr import CBSRMatrix
+    from ..gpusim.kernels.spgemm import spgemm_execute
+    from ..gpusim.kernels.sspmm import sspmm_execute
+
+    sparsified, mask = maxk_forward(x.data, k)
+    cbsr = CBSRMatrix.from_dense_rows(sparsified, k)
+    out = spgemm_execute(adj, cbsr)
+
+    def backward(grad):
+        if not x.requires_grad:
+            return
+        grad_cbsr = sspmm_execute(adj, np.asarray(grad), cbsr)
+        dense_grad = np.zeros_like(x.data)
+        rows = np.arange(cbsr.n_rows)[:, None]
+        dense_grad[rows, cbsr.sp_index.astype(np.int64)] = grad_cbsr.sp_data
+        x._accumulate(np.where(mask, dense_grad, 0.0))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def spmm_agg(adj: CSRMatrix, x: Tensor, adj_t: Optional[CSRMatrix] = None) -> Tensor:
+    """Feature aggregation ``A @ X`` with autograd.
+
+    Parameters
+    ----------
+    adj:
+        The (normalised) adjacency matrix in CSR.
+    x:
+        Node features ``(n_nodes, dim)``.
+    adj_t:
+        Optional pre-materialised ``A^T`` used by the backward pass. When
+        omitted, it is built on first use and cached on the ``adj`` object,
+        matching the paper's zero-extra-storage observation that the CSC view
+        of ``A^T`` shares buffers with the CSR of ``A``.
+    """
+    if adj_t is None:
+        adj_t = _cached_transpose(adj)
+
+    out = adj.matmul_dense(x.data)
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(adj_t.matmul_dense(grad))
+
+    return Tensor._make(out, (x,), backward)
+
+
+_TRANSPOSE_CACHE = {}
+
+
+def _cached_transpose(adj: CSRMatrix) -> CSRMatrix:
+    key = id(adj)
+    cached = _TRANSPOSE_CACHE.get(key)
+    if cached is None or cached[0] is not adj:
+        cached = (adj, adj.transpose())
+        _TRANSPOSE_CACHE[key] = cached
+    return cached[1]
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout; identity when not training or p == 0."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError("dropout probability must be in [0, 1)")
+    if not training or p == 0.0:
+        return x
+    keep = rng.random(x.data.shape) >= p
+    scale = 1.0 / (1.0 - p)
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad * keep * scale)
+
+    return Tensor._make(np.where(keep, x.data * scale, 0.0), (x,), backward)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    out = 1.0 / (1.0 + np.exp(-np.clip(x.data, -60, 60)))
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad * out * (1.0 - out))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def log_softmax(x: Tensor) -> Tensor:
+    """Row-wise log-softmax with the standard max-shift stabilisation."""
+    shifted = x.data - x.data.max(axis=1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    out = shifted - log_z
+    softmax = np.exp(out)
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad - softmax * grad.sum(axis=1, keepdims=True))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray, mask: np.ndarray = None) -> Tensor:
+    """Mean negative log-likelihood over (optionally masked) nodes."""
+    labels = np.asarray(labels, dtype=np.int64)
+    log_probs = log_softmax(logits)
+    n = logits.shape[0]
+    if mask is None:
+        mask = np.ones(n, dtype=bool)
+    idx = np.where(mask)[0]
+    picked = log_probs[(idx, labels[idx])]
+    return -picked.mean()
+
+
+def bce_with_logits(logits: Tensor, targets: np.ndarray, mask: np.ndarray = None) -> Tensor:
+    """Mean binary cross-entropy with logits (multi-label tasks).
+
+    Uses the numerically stable form
+    ``max(z, 0) - z*y + log(1 + exp(-|z|))`` computed via autograd-safe
+    primitives.
+    """
+    targets = np.asarray(targets, dtype=np.float64)
+    if mask is not None:
+        idx = np.where(mask)[0]
+        logits = logits[idx]
+        targets = targets[idx]
+    z = logits.data
+    stable = np.maximum(z, 0) - z * targets + np.log1p(np.exp(-np.abs(z)))
+    probs = 1.0 / (1.0 + np.exp(-np.clip(z, -60, 60)))
+    count = z.size
+
+    source = logits
+
+    def backward(grad):
+        if source.requires_grad:
+            source._accumulate(grad * (probs - targets))
+
+    per_element = Tensor._make(stable, (source,), backward)
+    return per_element.sum() * (1.0 / count)

@@ -1,0 +1,84 @@
+"""Segment operations and pointwise extras for attention-style GNN layers.
+
+GAT-style models need per-destination softmax over edge scores. These ops
+keep that expressible inside the autograd engine:
+
+* :func:`segment_sum` — scatter-add rows into segments (backward: gather);
+* :func:`segment_max_values` — per-segment max as *data* (used only for
+  softmax stabilisation, so it intentionally carries no gradient);
+* :func:`exp` / :func:`leaky_relu` — pointwise ops GAT scoring needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["segment_sum", "segment_max_values", "exp", "leaky_relu"]
+
+
+def segment_sum(x: Tensor, segment_ids: np.ndarray, n_segments: int) -> Tensor:
+    """Sum rows of ``x`` into ``n_segments`` buckets by ``segment_ids``.
+
+    ``out[s] = sum over rows r with segment_ids[r] == s of x[r]``. The
+    backward pass routes each segment's gradient to all of its rows.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if segment_ids.ndim != 1 or len(segment_ids) != x.shape[0]:
+        raise ValueError("segment_ids must map every row of x")
+    if n_segments < 1:
+        raise ValueError("n_segments must be positive")
+    if len(segment_ids) and (
+        segment_ids.min() < 0 or segment_ids.max() >= n_segments
+    ):
+        raise ValueError("segment ids out of range")
+
+    out = np.zeros((n_segments,) + x.data.shape[1:], dtype=np.float64)
+    np.add.at(out, segment_ids, x.data)
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(np.asarray(grad)[segment_ids])
+
+    return Tensor._make(out, (x,), backward)
+
+
+def segment_max_values(
+    values: np.ndarray, segment_ids: np.ndarray, n_segments: int
+) -> np.ndarray:
+    """Per-segment maxima as plain data (softmax shift, no gradient).
+
+    Empty segments get 0 — harmless because nothing indexes into them.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    out = np.full(n_segments, -np.inf, dtype=np.float64)
+    np.maximum.at(out, segment_ids, values)
+    out[np.isneginf(out)] = 0.0
+    return out
+
+
+def exp(x: Tensor) -> Tensor:
+    """Elementwise exponential (input clipped for stability)."""
+    out = np.exp(np.clip(x.data, -60, 60))
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad * out)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
+    """LeakyReLU as used by GAT's attention scoring."""
+    if negative_slope < 0:
+        raise ValueError("negative_slope must be non-negative")
+    positive = x.data > 0
+    out = np.where(positive, x.data, negative_slope * x.data)
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad * np.where(positive, 1.0, negative_slope))
+
+    return Tensor._make(out, (x,), backward)

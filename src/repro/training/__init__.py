@@ -1,0 +1,43 @@
+"""Training system: trainer, metrics, and the epoch latency model."""
+
+from .checkpoint import (
+    load_checkpoint,
+    load_state_dict,
+    save_checkpoint,
+    state_dict,
+)
+from .metrics import accuracy, micro_f1, roc_auc
+from .partitioned import (
+    PartitionedTrainer,
+    SampledTrainer,
+    SubgraphTrainResult,
+    copy_parameters,
+)
+from .schedulers import CosineLR, EarlyStopping, StepLR
+from .seeds import SeededResult, run_seeded
+from .timing import EpochBreakdown, EpochCostModel, ModelShape
+from .trainer import Trainer, TrainResult
+
+__all__ = [
+    "accuracy",
+    "micro_f1",
+    "roc_auc",
+    "Trainer",
+    "TrainResult",
+    "EpochBreakdown",
+    "EpochCostModel",
+    "ModelShape",
+    "PartitionedTrainer",
+    "SampledTrainer",
+    "SubgraphTrainResult",
+    "copy_parameters",
+    "state_dict",
+    "load_state_dict",
+    "save_checkpoint",
+    "load_checkpoint",
+    "StepLR",
+    "CosineLR",
+    "EarlyStopping",
+    "SeededResult",
+    "run_seeded",
+]

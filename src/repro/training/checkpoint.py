@@ -1,0 +1,53 @@
+"""Model checkpointing: save / load parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..models import Module
+
+__all__ = ["state_dict", "load_state_dict", "save_checkpoint", "load_checkpoint"]
+
+
+def state_dict(model: Module) -> dict:
+    """Ordered parameter arrays keyed ``param_<index>``.
+
+    The key scheme relies on the deterministic parameter iteration order of
+    :meth:`Module.parameters`, which is construction order.
+    """
+    return {
+        f"param_{index}": param.data.copy()
+        for index, param in enumerate(model.parameters())
+    }
+
+
+def load_state_dict(model: Module, state: dict) -> None:
+    """Load arrays produced by :func:`state_dict` into ``model`` in place."""
+    parameters = list(model.parameters())
+    expected = {f"param_{index}" for index in range(len(parameters))}
+    if set(state) != expected:
+        raise ValueError(
+            f"state dict has keys {sorted(state)}, expected {sorted(expected)}"
+        )
+    for index, param in enumerate(parameters):
+        value = np.asarray(state[f"param_{index}"])
+        if value.shape != param.data.shape:
+            raise ValueError(
+                f"param_{index}: shape {value.shape} does not match "
+                f"{param.data.shape}"
+            )
+        param.data[...] = value
+
+
+def save_checkpoint(model: Module, path: Union[str, Path]) -> None:
+    """Write the model's parameters to an ``.npz`` archive."""
+    np.savez(Path(path), **state_dict(model))
+
+
+def load_checkpoint(model: Module, path: Union[str, Path]) -> None:
+    """Restore parameters written by :func:`save_checkpoint`."""
+    with np.load(Path(path)) as archive:
+        load_state_dict(model, dict(archive))

@@ -1,0 +1,144 @@
+"""Partition-parallel and sampled training on top of MaxK models.
+
+Demonstrates §1's compatibility claim: the MaxK nonlinearity and its
+kernels are orthogonal to partition-parallel training (BNS-GCN [27]) and
+subgraph sampling (GraphSAINT [33]); both trainers below run unmodified
+MaxK models on the subgraphs those methods produce.
+
+Each subgraph carries its own adjacency, so per-round models are rebuilt on
+the sampled structure while **sharing parameters** through a simple state
+dict transfer — full-batch semantics stay available through
+:class:`~repro.training.trainer.Trainer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from ..graphs import Graph, bfs_partition, bns_sample, node_sampler
+from ..models import GNNConfig, MaxKGNN
+from .trainer import Trainer
+
+__all__ = [
+    "copy_parameters",
+    "SubgraphTrainResult",
+    "PartitionedTrainer",
+    "SampledTrainer",
+]
+
+
+def copy_parameters(source: MaxKGNN, target: MaxKGNN) -> None:
+    """Copy trainable parameters between models of identical architecture."""
+    source_params = list(source.parameters())
+    target_params = list(target.parameters())
+    if len(source_params) != len(target_params):
+        raise ValueError("models have different parameter counts")
+    for src, dst in zip(source_params, target_params):
+        if src.data.shape != dst.data.shape:
+            raise ValueError(
+                f"parameter shape mismatch: {src.data.shape} vs {dst.data.shape}"
+            )
+        dst.data[...] = src.data
+
+
+@dataclass
+class SubgraphTrainResult:
+    """History of a partition/sample-based training run."""
+
+    round_losses: List[float] = field(default_factory=list)
+    test_metric: float = float("nan")
+    subgraph_sizes: List[int] = field(default_factory=list)
+
+
+class _SubgraphTrainerBase:
+    """Shared machinery: a reference model + per-subgraph worker models."""
+
+    def __init__(self, graph: Graph, config: GNNConfig, lr: float = 0.01,
+                 seed: int = 0):
+        if config.nonlinearity == "maxk" and config.k is None:
+            raise ValueError("MaxK configs need k")
+        self.graph = graph
+        self.config = config
+        self.lr = lr
+        self.seed = seed
+        # The reference model owns the canonical parameters.
+        self.reference = MaxKGNN(graph, config, seed=seed)
+
+    def _train_on_subgraph(self, subgraph: Graph, epochs: int) -> float:
+        """One round: push params to a worker, train, pull params back."""
+        worker = MaxKGNN(subgraph, self.config, seed=self.seed)
+        copy_parameters(self.reference, worker)
+        trainer = Trainer(worker, subgraph, lr=self.lr)
+        loss = float("nan")
+        for _ in range(epochs):
+            loss = trainer.train_epoch()
+        copy_parameters(worker, self.reference)
+        return loss
+
+    def evaluate_full_graph(self) -> float:
+        """Test metric of the reference parameters on the full graph."""
+        trainer = Trainer(self.reference, self.graph, lr=self.lr)
+        return trainer.evaluate()["test"]
+
+
+class PartitionedTrainer(_SubgraphTrainerBase):
+    """BNS-GCN-style trainer: partitions + sampled boundary halos."""
+
+    def __init__(self, graph: Graph, config: GNNConfig, n_parts: int,
+                 boundary_fraction: float = 0.2, lr: float = 0.01,
+                 seed: int = 0):
+        super().__init__(graph, config, lr=lr, seed=seed)
+        if n_parts < 1:
+            raise ValueError("n_parts must be >= 1")
+        self.partition = bfs_partition(graph, n_parts, seed=seed)
+        self.boundary_fraction = boundary_fraction
+
+    def fit(self, rounds: int, epochs_per_part: int = 5) -> SubgraphTrainResult:
+        """Cycle over partitions; each round trains every part's subgraph."""
+        if rounds < 1:
+            raise ValueError("rounds must be positive")
+        result = SubgraphTrainResult()
+        for round_id in range(rounds):
+            for part in range(self.partition.n_parts):
+                subgraph = bns_sample(
+                    self.graph, self.partition, part,
+                    boundary_fraction=self.boundary_fraction,
+                    seed=self.seed + round_id * 131 + part,
+                )
+                if subgraph.train_mask is None or subgraph.train_mask.sum() == 0:
+                    continue
+                loss = self._train_on_subgraph(subgraph, epochs_per_part)
+                result.round_losses.append(loss)
+                result.subgraph_sizes.append(subgraph.n_nodes)
+        result.test_metric = self.evaluate_full_graph()
+        return result
+
+
+class SampledTrainer(_SubgraphTrainerBase):
+    """GraphSAINT-style trainer over random-node subgraph batches."""
+
+    def __init__(self, graph: Graph, config: GNNConfig,
+                 sample_size: int, lr: float = 0.01, seed: int = 0,
+                 sampler: Callable[..., Graph] = node_sampler):
+        super().__init__(graph, config, lr=lr, seed=seed)
+        if not 1 <= sample_size <= graph.n_nodes:
+            raise ValueError("sample_size out of range")
+        self.sample_size = sample_size
+        self.sampler = sampler
+
+    def fit(self, rounds: int, epochs_per_sample: int = 5) -> SubgraphTrainResult:
+        if rounds < 1:
+            raise ValueError("rounds must be positive")
+        result = SubgraphTrainResult()
+        for round_id in range(rounds):
+            subgraph = self.sampler(
+                self.graph, self.sample_size, seed=self.seed + round_id
+            )
+            if subgraph.train_mask is None or subgraph.train_mask.sum() == 0:
+                continue
+            loss = self._train_on_subgraph(subgraph, epochs_per_sample)
+            result.round_losses.append(loss)
+            result.subgraph_sizes.append(subgraph.n_nodes)
+        result.test_metric = self.evaluate_full_graph()
+        return result

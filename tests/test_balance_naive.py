@@ -1,0 +1,102 @@
+"""Tests for workload-balance analysis and the naive kernel ablations."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (
+    A100,
+    SparsePattern,
+    compare_mappings,
+    edge_group_loads,
+    gini,
+    naive_spgemm_cost,
+    naive_sspmm_cost,
+    row_split_loads,
+    spgemm_cost,
+    sspmm_cost,
+    warp_efficiency,
+)
+from repro.graphs import TABLE1_GRAPHS, erdos_renyi_graph, rmat_graph
+
+REDDIT = SparsePattern.from_spec(TABLE1_GRAPHS["Reddit"])
+
+
+class TestBalanceMetrics:
+    def test_uniform_loads_perfectly_efficient(self):
+        assert warp_efficiency(np.full(10, 7)) == 1.0
+        assert gini(np.full(10, 7)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_evil_row_tanks_efficiency(self):
+        loads = np.array([1, 1, 1, 1, 100])
+        assert warp_efficiency(loads) < 0.25
+        assert gini(loads) > 0.5
+
+    def test_empty_loads(self):
+        assert warp_efficiency(np.array([])) == 1.0
+        assert gini(np.array([])) == 0.0
+
+    def test_zero_loads_ignored_for_efficiency(self):
+        assert warp_efficiency(np.array([0, 0, 4, 4])) == 1.0
+
+
+class TestMappingComparison:
+    def test_edge_groups_fix_power_law_imbalance(self):
+        """The paper's motivation: EGs remove the evil-row problem."""
+        graph = rmat_graph(512, 8192, seed=6)
+        comparison = compare_mappings(graph.adjacency("none"), dim_k=32)
+        assert comparison.edge_group_efficiency > comparison.row_split_efficiency
+        assert comparison.edge_group_gini < comparison.row_split_gini
+        assert comparison.max_edge_group_load < comparison.max_row_load
+        assert comparison.efficiency_gain > 2.0
+
+    def test_uniform_graph_needs_less_fixing(self):
+        skewed = rmat_graph(512, 8192, seed=6)
+        uniform = erdos_renyi_graph(512, 16.0, seed=6)
+        gain_skewed = compare_mappings(skewed.adjacency("none")).efficiency_gain
+        gain_uniform = compare_mappings(uniform.adjacency("none")).efficiency_gain
+        assert gain_skewed > gain_uniform
+
+    def test_loads_cover_all_edges(self):
+        graph = rmat_graph(128, 1024, seed=7)
+        adjacency = graph.adjacency("none")
+        assert row_split_loads(adjacency).sum() == adjacency.nnz
+        assert edge_group_loads(adjacency, 32).sum() == adjacency.nnz
+
+
+class TestNaiveKernels:
+    """The ablations behind §4's two design decisions."""
+
+    def test_shared_memory_buffering_pays_off(self):
+        """Algorithm 1's Buf_w vs naive global sparse atomics."""
+        for k in (8, 32, 128):
+            buffered = spgemm_cost(REDDIT, 256, k, A100).latency
+            naive = naive_spgemm_cost(REDDIT, 256, k, A100).latency
+            assert naive > 2.0 * buffered, k
+
+    def test_dense_row_prefetch_pays_off(self):
+        """Algorithm 2's stage-1 buffering vs naive irregular gathers."""
+        for k in (8, 32, 128):
+            prefetched = sspmm_cost(REDDIT, 256, k, A100).latency
+            naive = naive_sspmm_cost(REDDIT, 256, k, A100).latency
+            assert naive > 2.0 * prefetched, k
+
+    def test_naive_spgemm_can_lose_to_dense_spmm(self):
+        """Without coalescing, CBSR sparsity alone does not win — the
+        motivation for the kernel co-design."""
+        from repro.gpusim import cusparse_spmm_cost
+
+        spmm = cusparse_spmm_cost(REDDIT, 256, A100).latency
+        naive = naive_spgemm_cost(REDDIT, 256, 128, A100).latency
+        assert naive > spmm
+
+    def test_naive_traffic_categories(self):
+        cost = naive_spgemm_cost(REDDIT, 256, 32, A100)
+        assert "global_sparse_atomic" in cost.traffic.categories
+        cost = naive_sspmm_cost(REDDIT, 256, 32, A100)
+        assert "irregular_dense_gather" in cost.traffic.categories
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            naive_spgemm_cost(REDDIT, 256, 0, A100)
+        with pytest.raises(ValueError):
+            naive_sspmm_cost(REDDIT, 256, 300, A100)

@@ -1,0 +1,111 @@
+"""Unit tests for the set-associative cache simulator."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import CacheConfig, CacheSim, MemoryHierarchy
+
+
+def make_cache(size_lines=8, assoc=2, line=128):
+    return CacheSim(CacheConfig(size_bytes=size_lines * line, line_bytes=line,
+                                associativity=assoc))
+
+
+class TestCacheConfig:
+    def test_n_sets(self):
+        config = CacheConfig(size_bytes=1024, line_bytes=128, associativity=2)
+        assert config.n_sets == 4
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0, line_bytes=128)
+
+    def test_rejects_too_small_for_one_set(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=128, line_bytes=128, associativity=4)
+
+
+class TestCacheSim:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.access(5) is False
+        assert cache.access(5) is True
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_hit_rate(self):
+        cache = make_cache()
+        for _ in range(4):
+            cache.access(0)
+        assert cache.hit_rate == pytest.approx(3 / 4)
+
+    def test_empty_hit_rate_zero(self):
+        assert make_cache().hit_rate == 0.0
+
+    def test_lru_eviction(self):
+        cache = make_cache(size_lines=4, assoc=2)  # 2 sets x 2 ways
+        # Lines 0, 2, 4 all map to set 0 (line % 2 == 0).
+        cache.access(0)
+        cache.access(2)
+        cache.access(0)  # refresh 0; 2 becomes LRU
+        cache.access(4)  # evicts 2
+        assert cache.access(0) is True
+        assert cache.access(2) is False  # was evicted
+
+    def test_full_working_set_stays_resident(self):
+        cache = make_cache(size_lines=16, assoc=4)
+        lines = list(range(16))
+        for line in lines:
+            cache.access(line)
+        cache.reset_counters()
+        for line in lines:
+            assert cache.access(line) is True
+
+    def test_streaming_never_hits(self):
+        cache = make_cache(size_lines=8)
+        for line in range(1000):
+            cache.access(line)
+        assert cache.hits == 0
+
+    def test_reset_counters(self):
+        cache = make_cache()
+        cache.access(1)
+        cache.reset_counters()
+        assert cache.accesses == 0
+
+
+class TestHierarchy:
+    def build(self, l1_lines=4, l2_lines=64):
+        return MemoryHierarchy(
+            CacheConfig(l1_lines * 128, 128, 2),
+            CacheConfig(l2_lines * 128, 128, 8),
+        )
+
+    def test_l2_catches_l1_evictions(self):
+        hierarchy = self.build(l1_lines=2, l2_lines=64)
+        stream = np.tile(np.arange(16), 8)  # 16-line loop, repeated
+        stats = hierarchy.replay(stream)
+        assert stats.l1_hit_rate < 0.5  # loop larger than L1
+        assert stats.l2_hit_rate > 0.8  # loop fits in L2
+
+    def test_dram_bytes_equals_l2_misses(self):
+        hierarchy = self.build()
+        stats = hierarchy.replay(np.arange(100))
+        assert stats.dram_bytes == hierarchy.l2.misses * 128
+
+    def test_requested_bytes(self):
+        hierarchy = self.build()
+        stats = hierarchy.replay(np.arange(50))
+        assert stats.requested_bytes == 50 * 128
+        assert 0 < stats.dram_fraction <= 1.0
+
+    def test_perfect_reuse_one_dram_line(self):
+        hierarchy = self.build()
+        stats = hierarchy.replay(np.zeros(500, dtype=np.int64))
+        assert stats.dram_bytes == 128
+        assert stats.l1_hit_rate == pytest.approx(499 / 500)
+
+    def test_mismatched_line_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy(
+                CacheConfig(1024, 64, 2), CacheConfig(4096, 128, 2)
+            )

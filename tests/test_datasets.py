@@ -1,0 +1,102 @@
+"""Unit tests for the Table-1 dataset registry and training datasets."""
+
+import pytest
+
+from repro.graphs import (
+    TABLE1_GRAPHS,
+    TRAINING_CONFIGS,
+    TRAINING_DATASETS,
+    kernel_benchmark_names,
+    load_kernel_graph,
+    load_training_dataset,
+)
+from repro.graphs.datasets import MAX_SCALED_DEGREE, MAX_SCALED_NODES
+
+
+class TestRegistry:
+    def test_all_24_table1_graphs_registered(self):
+        assert len(TABLE1_GRAPHS) == 24
+
+    def test_published_sizes_match_table1_samples(self):
+        assert TABLE1_GRAPHS["Reddit"].n_nodes == 232_965
+        assert TABLE1_GRAPHS["Reddit"].n_edges == 114_615_891
+        assert TABLE1_GRAPHS["ogbn-proteins"].n_edges == 79_122_504
+        assert TABLE1_GRAPHS["pubmed"].n_nodes == 19_717
+
+    def test_high_degree_set_matches_paper(self):
+        """The paper calls out proteins/ddi/Reddit/ppa/products as avg>50."""
+        high = {n for n, s in TABLE1_GRAPHS.items() if s.avg_degree > 50}
+        assert high == {
+            "ogbn-proteins", "ddi", "Reddit", "ppa", "ogbn-products"
+        }
+
+    def test_training_datasets_are_registered(self):
+        for name in TRAINING_DATASETS:
+            assert name in TABLE1_GRAPHS
+            assert name in TRAINING_CONFIGS
+
+    def test_scaled_sizes_bounded(self):
+        for spec in TABLE1_GRAPHS.values():
+            n_nodes, n_edges = spec.scaled_sizes()
+            assert n_nodes <= MAX_SCALED_NODES
+            assert n_edges / n_nodes <= MAX_SCALED_DEGREE + 1
+
+
+class TestKernelGraphs:
+    def test_load_kernel_graph_scaled(self):
+        graph = load_kernel_graph("pubmed")
+        expected_nodes, expected_edges = TABLE1_GRAPHS["pubmed"].scaled_sizes()
+        assert graph.n_nodes == expected_nodes
+        assert graph.n_edges <= expected_edges
+
+    def test_load_preserves_degree_ordering(self):
+        """Scaled Reddit must stay much denser than scaled pubmed."""
+        reddit = load_kernel_graph("Reddit")
+        pubmed = load_kernel_graph("pubmed")
+        assert reddit.avg_degree > 5 * pubmed.avg_degree
+
+    def test_skewed_flag_affects_distribution(self):
+        skewed = load_kernel_graph("Reddit")
+        regular = load_kernel_graph("Yeast")
+        assert skewed.degree_skew() > regular.degree_skew()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            load_kernel_graph("not-a-graph")
+
+    def test_names_list_matches_registry(self):
+        assert set(kernel_benchmark_names()) == set(TABLE1_GRAPHS)
+
+
+class TestTrainingDatasets:
+    @pytest.mark.parametrize("name", TRAINING_DATASETS)
+    def test_load_training_dataset_complete(self, name):
+        graph = load_training_dataset(name)
+        cfg = TRAINING_CONFIGS[name]
+        assert graph.n_nodes == cfg.n_nodes
+        assert graph.features.shape == (cfg.n_nodes, cfg.n_features)
+        assert graph.labels is not None
+        assert graph.multilabel == cfg.multilabel
+        assert graph.train_mask.sum() > 0
+        assert graph.test_mask.sum() > 0
+
+    def test_multilabel_flags_match_paper_metrics(self):
+        """Yelp (F1) and ogbn-proteins (ROC-AUC) are the multilabel tasks."""
+        assert TRAINING_CONFIGS["Yelp"].multilabel
+        assert TRAINING_CONFIGS["ogbn-proteins"].multilabel
+        assert not TRAINING_CONFIGS["Reddit"].multilabel
+
+    def test_paper_table3_settings_recorded(self):
+        assert TRAINING_CONFIGS["Yelp"].paper_hidden == 384
+        assert TRAINING_CONFIGS["Reddit"].paper_layers == 4
+        assert TRAINING_CONFIGS["Flickr"].paper_layers == 3
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            load_training_dataset("imagenet")
+
+    def test_deterministic_given_seed(self):
+        a = load_training_dataset("Flickr", seed=3)
+        b = load_training_dataset("Flickr", seed=3)
+        assert (a.features == b.features).all()
+        assert (a.src == b.src).all()

@@ -1,0 +1,50 @@
+"""Unit tests for the descriptive-table experiments (Tables 1 and 3)."""
+
+import pytest
+
+from repro.experiments import table1_datasets, table3_setup
+from repro.graphs import TABLE1_GRAPHS, TRAINING_CONFIGS
+
+
+class TestTable1Module:
+    def test_one_row_per_registered_graph(self):
+        rows = table1_datasets.run()
+        assert {row.name for row in rows} == set(TABLE1_GRAPHS)
+
+    def test_avg_degree_derivation(self):
+        rows = {row.name: row for row in table1_datasets.run()}
+        assert rows["Reddit"].avg_degree == pytest.approx(
+            114_615_891 / 232_965
+        )
+
+    def test_report_lists_high_degree_group(self):
+        text = table1_datasets.report()
+        for name in ("ddi", "ppa", "Reddit"):
+            assert name in text
+        assert "high-degree" in text
+
+    def test_scaled_columns_present(self):
+        rows = table1_datasets.run()
+        assert all(row.scaled_nodes > 0 for row in rows)
+        assert all(row.scaled_edges > 0 for row in rows)
+
+
+class TestTable3Module:
+    def test_covers_all_training_datasets(self):
+        configs = table3_setup.run()
+        assert {cfg.name for cfg in configs} == set(TRAINING_CONFIGS)
+
+    def test_paper_values_recorded(self):
+        paper = table3_setup.PAPER_TABLE3
+        assert paper["Yelp"]["hidden"] == 384
+        assert paper["Reddit"]["epochs"] == 3000
+        assert paper["ogbn-products"]["lr"] == 0.003
+
+    def test_report_shows_paper_and_scaled(self):
+        text = table3_setup.report()
+        assert "256/64" in text  # paper hidden / scaled hidden
+        assert "p/s" in text
+
+    def test_layer_counts_match_paper_exactly(self):
+        for cfg in table3_setup.run():
+            assert cfg.layers == table3_setup.PAPER_TABLE3[cfg.name]["layers"]

@@ -1,0 +1,195 @@
+"""Unit tests for differentiable GNN operators (relu/maxk/spmm/losses)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import chain_of_cliques
+from repro.tensor import (
+    Tensor,
+    bce_with_logits,
+    cross_entropy,
+    dropout,
+    log_softmax,
+    maxk,
+    relu,
+    sigmoid,
+    spmm_agg,
+)
+from tests.test_tensor import check_gradient, finite_difference
+
+
+class TestActivations:
+    def test_relu_values(self):
+        x = Tensor(np.array([[-1.0, 2.0, 0.0]]))
+        np.testing.assert_allclose(relu(x).numpy(), [[0.0, 2.0, 0.0]])
+
+    def test_relu_gradient(self):
+        check_gradient(lambda x: (relu(x) * 3.0).sum(), (4, 5), seed=1)
+
+    def test_maxk_keeps_k_per_row(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(6, 10)))
+        out = maxk(x, 3)
+        assert ((out.numpy() != 0).sum(axis=1) <= 3).all()
+
+    def test_maxk_gradient_matches_mask_routing(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(5, 8))
+        tensor = Tensor(x.copy(), requires_grad=True)
+        weights = rng.normal(size=(5, 8))
+        loss = (maxk(tensor, 3) * Tensor(weights)).sum()
+        loss.backward()
+        from repro.core import maxk_forward
+
+        _, mask = maxk_forward(x, 3)
+        np.testing.assert_allclose(tensor.grad, np.where(mask, weights, 0.0))
+
+    def test_maxk_full_k_equals_identity_grad(self):
+        check_gradient(lambda x: (maxk(x, 6) ** 2).sum(), (3, 6), seed=3)
+
+    def test_sigmoid_values_and_gradient(self):
+        np.testing.assert_allclose(
+            sigmoid(Tensor(np.zeros((1, 1)))).numpy(), [[0.5]]
+        )
+        check_gradient(lambda x: sigmoid(x).sum(), (4, 3), seed=4)
+
+
+class TestSpmmAgg:
+    def test_forward_matches_dense(self):
+        graph = chain_of_cliques(3, 4)
+        adjacency = graph.adjacency("sage")
+        x = np.random.default_rng(5).normal(size=(graph.n_nodes, 6))
+        out = spmm_agg(adjacency, Tensor(x)).numpy()
+        np.testing.assert_allclose(out, adjacency.to_dense() @ x)
+
+    def test_backward_is_transpose_spmm(self):
+        graph = chain_of_cliques(2, 5)
+        adjacency = graph.adjacency("gcn")
+        rng = np.random.default_rng(6)
+        x = Tensor(rng.normal(size=(graph.n_nodes, 4)), requires_grad=True)
+        weights = rng.normal(size=(graph.n_nodes, 4))
+        (spmm_agg(adjacency, x) * Tensor(weights)).sum().backward()
+        expected = adjacency.to_dense().T @ weights
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_gradient_finite_difference(self):
+        graph = chain_of_cliques(2, 3)
+        adjacency = graph.adjacency("sage")
+        check_gradient(
+            lambda x: (spmm_agg(adjacency, x) ** 2).sum(),
+            (graph.n_nodes, 3),
+            seed=7,
+        )
+
+    def test_explicit_transpose_accepted(self):
+        graph = chain_of_cliques(2, 3)
+        adjacency = graph.adjacency("none")
+        x = Tensor(np.ones((graph.n_nodes, 2)), requires_grad=True)
+        out = spmm_agg(adjacency, x, adjacency.transpose())
+        assert out.shape == (graph.n_nodes, 2)
+
+
+class TestDropout:
+    def test_identity_when_not_training(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((4, 4)))
+        out = dropout(x, 0.5, training=False, rng=rng)
+        assert out is x
+
+    def test_identity_when_p_zero(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((4, 4)))
+        assert dropout(x, 0.0, training=True, rng=rng) is x
+
+    def test_inverted_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(np.ones((2000, 10)))
+        out = dropout(x, 0.3, training=True, rng=rng).numpy()
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+        surviving = out[out != 0]
+        np.testing.assert_allclose(surviving, 1.0 / 0.7)
+
+    def test_gradient_routes_through_kept_units(self):
+        rng = np.random.default_rng(2)
+        x = Tensor(np.ones((50, 4)), requires_grad=True)
+        out = dropout(x, 0.5, training=True, rng=rng)
+        out.sum().backward()
+        kept = out.numpy() != 0
+        np.testing.assert_allclose(x.grad[kept], 2.0)
+        np.testing.assert_allclose(x.grad[~kept], 0.0)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            dropout(Tensor(np.ones(2)), 1.0, True, np.random.default_rng(0))
+
+
+class TestLosses:
+    def test_log_softmax_rows_normalise(self):
+        x = Tensor(np.random.default_rng(3).normal(size=(6, 5)))
+        probs = np.exp(log_softmax(x).numpy())
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_log_softmax_stable_for_large_logits(self):
+        x = Tensor(np.array([[1000.0, 0.0, -1000.0]]))
+        out = log_softmax(x).numpy()
+        assert np.isfinite(out).all()
+
+    def test_log_softmax_gradient(self):
+        check_gradient(lambda x: (log_softmax(x) ** 2).sum(), (4, 3), seed=8)
+
+    def test_cross_entropy_matches_manual(self):
+        rng = np.random.default_rng(9)
+        logits = rng.normal(size=(8, 4))
+        labels = rng.integers(0, 4, size=8)
+        loss = cross_entropy(Tensor(logits), labels).item()
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(8), labels].mean()
+        assert loss == pytest.approx(expected)
+
+    def test_cross_entropy_mask(self):
+        rng = np.random.default_rng(10)
+        logits = rng.normal(size=(6, 3))
+        labels = rng.integers(0, 3, size=6)
+        mask = np.array([True, False, True, False, False, False])
+        masked = cross_entropy(Tensor(logits), labels, mask).item()
+        full_on_subset = cross_entropy(
+            Tensor(logits[mask]), labels[mask]
+        ).item()
+        assert masked == pytest.approx(full_on_subset)
+
+    def test_cross_entropy_gradient(self):
+        labels = np.array([0, 2, 1, 1])
+        check_gradient(
+            lambda x: cross_entropy(x, labels), (4, 3), seed=11
+        )
+
+    def test_bce_matches_manual(self):
+        rng = np.random.default_rng(12)
+        logits = rng.normal(size=(5, 4))
+        targets = (rng.random((5, 4)) > 0.5).astype(float)
+        loss = bce_with_logits(Tensor(logits), targets).item()
+        probs = 1 / (1 + np.exp(-logits))
+        expected = -(
+            targets * np.log(probs) + (1 - targets) * np.log(1 - probs)
+        ).mean()
+        assert loss == pytest.approx(expected, rel=1e-6)
+
+    def test_bce_stable_for_extreme_logits(self):
+        logits = Tensor(np.array([[500.0, -500.0]]))
+        targets = np.array([[1.0, 0.0]])
+        assert bce_with_logits(logits, targets).item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_bce_gradient(self):
+        targets = (np.random.default_rng(13).random((4, 3)) > 0.5).astype(float)
+        check_gradient(
+            lambda x: bce_with_logits(x, targets), (4, 3), seed=13, rtol=1e-4
+        )
+
+    def test_bce_mask(self):
+        rng = np.random.default_rng(14)
+        logits = rng.normal(size=(6, 2))
+        targets = (rng.random((6, 2)) > 0.5).astype(float)
+        mask = np.array([True, True, False, False, True, False])
+        masked = bce_with_logits(Tensor(logits), targets, mask).item()
+        subset = bce_with_logits(Tensor(logits[mask]), targets[mask]).item()
+        assert masked == pytest.approx(subset)

@@ -1,0 +1,74 @@
+"""Tests for the GNNAdvisor neighbour-grouping substrate."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.kernels.gnnadvisor import (
+    gnnadvisor_address_stream,
+    gnnadvisor_execute,
+    neighbor_groups,
+)
+from repro.graphs import rmat_graph
+
+
+@pytest.fixture(scope="module")
+def adjacency():
+    return rmat_graph(120, 1400, seed=8).adjacency("sage")
+
+
+class TestNeighborGroups:
+    def test_cover_all_nonzeros(self, adjacency):
+        groups = neighbor_groups(adjacency, 8)
+        assert sum(g.size for g in groups) == adjacency.nnz
+
+    def test_group_size_capped(self, adjacency):
+        groups = neighbor_groups(adjacency, 8)
+        assert all(1 <= g.size <= 8 for g in groups)
+
+    def test_groups_respect_rows(self, adjacency):
+        for group in neighbor_groups(adjacency, 4):
+            assert adjacency.indptr[group.row] <= group.start
+            assert group.stop <= adjacency.indptr[group.row + 1]
+
+    def test_validation(self, adjacency):
+        with pytest.raises(ValueError):
+            neighbor_groups(adjacency, 0)
+
+
+class TestExecution:
+    def test_matches_dense(self, adjacency):
+        x = np.random.default_rng(0).normal(size=(adjacency.n_cols, 12))
+        out = gnnadvisor_execute(adjacency, x, group_size=8)
+        np.testing.assert_allclose(out, adjacency.to_dense() @ x)
+
+    def test_group_size_invariance(self, adjacency):
+        x = np.random.default_rng(1).normal(size=(adjacency.n_cols, 6))
+        a = gnnadvisor_execute(adjacency, x, group_size=2)
+        b = gnnadvisor_execute(adjacency, x, group_size=64)
+        np.testing.assert_allclose(a, b)
+
+    def test_dimension_check(self, adjacency):
+        with pytest.raises(ValueError):
+            gnnadvisor_execute(adjacency, np.ones((3, 3)))
+
+
+class TestAddressStream:
+    def test_stream_length_close_to_spmm(self, adjacency):
+        """Grouping reorders accesses but fetch volume matches row-wise SpMM
+        up to the extra per-group output flushes."""
+        from repro.gpusim.kernels import spmm_address_stream
+
+        grouped = gnnadvisor_address_stream(adjacency, 256, group_size=16)
+        row_wise = spmm_address_stream(adjacency, 256)
+        assert len(grouped) >= len(row_wise)
+        assert len(grouped) < 1.5 * len(row_wise)
+
+    def test_empty_graph(self):
+        from repro.sparse import coo_to_csr
+
+        empty = coo_to_csr([], [], [], (3, 3))
+        assert len(gnnadvisor_address_stream(empty, 128)) == 0
+
+    def test_line_ids_non_negative(self, adjacency):
+        stream = gnnadvisor_address_stream(adjacency, 128)
+        assert stream.min() >= 0

@@ -1,0 +1,173 @@
+"""Unit tests for GNN layers, models and the approximator MLP."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import chain_of_cliques, sbm_graph, attach_classification_task
+from repro.models import (
+    ApproximatorMLP,
+    GCNConv,
+    GINConv,
+    GNNConfig,
+    Linear,
+    MaxKGNN,
+    SAGEConv,
+    approximation_error,
+    fit_function,
+    make_conv,
+)
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def graph():
+    return chain_of_cliques(3, 4)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = Linear(8, 3, rng)
+        out = layer(Tensor(np.ones((5, 8))))
+        assert out.shape == (5, 3)
+
+    def test_parameters_registered(self, rng):
+        layer = Linear(8, 3, rng)
+        params = list(layer.parameters())
+        assert len(params) == 2  # weight + bias
+
+    def test_no_bias_option(self, rng):
+        layer = Linear(8, 3, rng, bias=False)
+        assert len(list(layer.parameters())) == 1
+
+    def test_rejects_bad_dims(self, rng):
+        with pytest.raises(ValueError):
+            Linear(0, 3, rng)
+
+
+class TestConvLayers:
+    @pytest.mark.parametrize("cls", [SAGEConv, GCNConv, GINConv])
+    def test_output_shape(self, cls, graph, rng):
+        layer = cls(graph, 6, 10, rng, nonlinearity="relu")
+        out = layer(Tensor(np.random.default_rng(1).normal(size=(graph.n_nodes, 6))))
+        assert out.shape == (graph.n_nodes, 10)
+
+    def test_maxk_layer_aggregation_input_is_sparse(self, graph, rng):
+        """The tensor flowing into the SpGEMM has exactly k nonzeros per row."""
+        layer = GCNConv(graph, 6, 12, rng, nonlinearity="maxk", k=3)
+        x = Tensor(np.random.default_rng(2).normal(size=(graph.n_nodes, 6)))
+        pre_agg = layer._activate(layer.linear(x))
+        nonzeros = (pre_agg.numpy() != 0).sum(axis=1)
+        assert (nonzeros <= 3).all()
+
+    def test_maxk_requires_k(self, graph, rng):
+        with pytest.raises(ValueError, match="explicit k"):
+            GCNConv(graph, 6, 12, rng, nonlinearity="maxk")
+
+    def test_maxk_k_range_checked(self, graph, rng):
+        with pytest.raises(ValueError):
+            GCNConv(graph, 6, 12, rng, nonlinearity="maxk", k=13)
+
+    def test_unknown_nonlinearity_rejected(self, graph, rng):
+        with pytest.raises(ValueError):
+            GCNConv(graph, 6, 12, rng, nonlinearity="gelu")
+
+    def test_sage_has_self_path(self, graph, rng):
+        layer = SAGEConv(graph, 6, 10, rng)
+        # neigh linear (w+b) + self linear (w+b) = 4 parameters.
+        assert len(list(layer.parameters())) == 4
+
+    def test_gin_eps_is_trainable(self, graph, rng):
+        layer = GINConv(graph, 6, 10, rng)
+        x = Tensor(np.random.default_rng(3).normal(size=(graph.n_nodes, 6)))
+        layer(x).sum().backward()
+        assert layer.eps.grad is not None
+
+    def test_layer_norms_match_model_family(self, graph, rng):
+        assert SAGEConv.norm == "sage"
+        assert GCNConv.norm == "gcn"
+        assert GINConv.norm == "none"
+
+    def test_make_conv_factory(self, graph, rng):
+        assert isinstance(make_conv("sage", graph, 4, 8, rng), SAGEConv)
+        with pytest.raises(ValueError, match="unknown model type"):
+            make_conv("gat", graph, 4, 8, rng)
+
+    def test_gradients_reach_all_parameters(self, graph, rng):
+        layer = SAGEConv(graph, 6, 10, rng, nonlinearity="maxk", k=4)
+        x = Tensor(np.random.default_rng(4).normal(size=(graph.n_nodes, 6)))
+        layer(x).sum().backward()
+        for param in layer.parameters():
+            assert param.grad is not None
+            assert np.isfinite(param.grad).all()
+
+
+class TestMaxKGNN:
+    def config(self, nonlinearity="relu", k=None, layers=2):
+        return GNNConfig(
+            model_type="sage", in_features=6, hidden=16, out_features=3,
+            n_layers=layers, nonlinearity=nonlinearity, k=k, dropout=0.1,
+        )
+
+    def test_forward_shape(self, graph):
+        model = MaxKGNN(graph, self.config())
+        logits = model(np.ones((graph.n_nodes, 6)))
+        assert logits.shape == (graph.n_nodes, 3)
+
+    def test_layer_count(self, graph):
+        model = MaxKGNN(graph, self.config(layers=3))
+        assert len(model.convs) == 3
+
+    def test_maxk_model_trains(self, graph):
+        model = MaxKGNN(graph, self.config("maxk", k=4))
+        logits = model(np.random.default_rng(5).normal(size=(graph.n_nodes, 6)))
+        logits.sum().backward()
+        grads = [p.grad for p in model.parameters()]
+        assert all(g is not None for g in grads)
+
+    def test_eval_mode_disables_dropout(self, graph):
+        model = MaxKGNN(graph, self.config()).eval()
+        x = np.random.default_rng(6).normal(size=(graph.n_nodes, 6))
+        a = model(x).numpy()
+        b = model(x).numpy()
+        np.testing.assert_array_equal(a, b)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="k"):
+            GNNConfig("sage", 4, 8, 2, 2, nonlinearity="maxk")
+        with pytest.raises(ValueError, match="layer"):
+            GNNConfig("sage", 4, 8, 2, 0)
+
+    def test_deterministic_given_seed(self, graph):
+        x = np.ones((graph.n_nodes, 6))
+        a = MaxKGNN(graph, self.config(), seed=3).eval()(x).numpy()
+        b = MaxKGNN(graph, self.config(), seed=3).eval()(x).numpy()
+        np.testing.assert_array_equal(a, b)
+
+
+class TestApproximatorMLP:
+    def test_default_k_is_quarter(self):
+        model = ApproximatorMLP(1, 16, 1, nonlinearity="maxk")
+        assert model.k == 4
+
+    def test_fit_reduces_error(self):
+        rng = np.random.default_rng(7)
+        x = rng.uniform(-1, 1, size=(64, 1))
+        y = x ** 2
+        model = ApproximatorMLP(1, 16, 1, nonlinearity="maxk", seed=0)
+        before = approximation_error(model, x, y)
+        fit_function(model, x, y, epochs=200)
+        after = approximation_error(model, x, y)
+        assert after < before / 5
+
+    def test_relu_variant(self):
+        model = ApproximatorMLP(1, 8, 1, nonlinearity="relu")
+        assert model(Tensor(np.zeros((4, 1)))).shape == (4, 1)
+
+    def test_rejects_unknown_nonlinearity(self):
+        with pytest.raises(ValueError):
+            ApproximatorMLP(1, 8, 1, nonlinearity="tanh")

@@ -1,0 +1,86 @@
+"""Tests for the multi-GPU partition-parallel epoch model."""
+
+import pytest
+
+from repro.gpusim import A100, MultiGpuEpochModel, PartitionStats, partition_stats
+from repro.graphs import bfs_partition, sbm_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return sbm_graph(400, 8, 12.0, seed=5).to_undirected()
+
+
+@pytest.fixture(scope="module")
+def stats(graph):
+    partition = bfs_partition(graph, 4, seed=0)
+    return partition_stats(graph, partition)
+
+
+class TestPartitionStats:
+    def test_counts_consistent(self, graph, stats):
+        assert sum(stats.nodes_per_part) == graph.n_nodes
+        assert sum(stats.edges_per_part) <= graph.n_edges
+        assert all(b <= n for b, n in
+                   zip(stats.boundary_per_part, stats.nodes_per_part))
+
+    def test_scaling(self, stats):
+        scaled = stats.scaled(node_factor=10, edge_factor=20)
+        assert scaled.nodes_per_part[0] == stats.nodes_per_part[0] * 10
+        assert scaled.edges_per_part[0] == stats.edges_per_part[0] * 20
+
+    def test_scaling_validation(self, stats):
+        with pytest.raises(ValueError):
+            stats.scaled(0, 1)
+
+    def test_list_length_validation(self):
+        with pytest.raises(ValueError):
+            PartitionStats(2, [1], [1, 1], [0, 0])
+
+
+class TestMultiGpuEpochModel:
+    def model(self, stats, **kwargs):
+        defaults = dict(hidden=256, n_layers=3, device=A100)
+        defaults.update(kwargs)
+        return MultiGpuEpochModel(stats, **defaults)
+
+    def test_maxk_speeds_up_partitioned_training(self, stats):
+        model = self.model(stats.scaled(500, 500))
+        assert model.speedup(16) > 1.5
+
+    def test_speedup_monotone_in_k(self, stats):
+        model = self.model(stats.scaled(500, 500))
+        speedups = [model.speedup(k) for k in (8, 32, 128)]
+        assert speedups == sorted(speedups, reverse=True)
+
+    def test_boundary_sampling_reduces_comm(self, stats):
+        big = stats.scaled(2000, 2000)
+        full = self.model(big, boundary_fraction=1.0)
+        sampled = self.model(big, boundary_fraction=0.1)
+        assert sampled.baseline_epoch() < full.baseline_epoch()
+        assert (
+            sampled.communication_fraction() < full.communication_fraction()
+        )
+
+    def test_maxk_shrinks_boundary_traffic(self, stats):
+        """CBSR boundary rows are 5k+4k bytes instead of 2·4·dim."""
+        model = self.model(stats.scaled(2000, 2000))
+        comm_base = model.communication_fraction() * model.baseline_epoch()
+        comm_maxk = model.communication_fraction(16) * model.maxk_epoch(16)
+        assert comm_maxk < comm_base
+
+    def test_epoch_positive(self, stats):
+        model = self.model(stats)
+        assert model.baseline_epoch() > 0
+        assert model.maxk_epoch(8) > 0
+
+    def test_validation(self, stats):
+        with pytest.raises(ValueError):
+            self.model(stats, boundary_fraction=2.0)
+        with pytest.raises(ValueError):
+            self.model(stats, hidden=0)
+        model = self.model(stats)
+        with pytest.raises(ValueError):
+            model.maxk_epoch(0)
+        with pytest.raises(ValueError):
+            model.maxk_epoch(300)

@@ -1,0 +1,174 @@
+"""Unit tests for graph partitioning, boundary sampling and subgraph samplers."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Partition,
+    attach_classification_task,
+    bfs_partition,
+    bns_sample,
+    boundary_nodes,
+    edge_sampler,
+    induced_subgraph,
+    khop_neighborhood,
+    node_sampler,
+    random_walk_sampler,
+    sbm_graph,
+)
+
+
+@pytest.fixture
+def graph():
+    graph = sbm_graph(240, 6, 8.0, seed=4).to_undirected()
+    attach_classification_task(graph, n_features=8, seed=4)
+    return graph
+
+
+class TestPartition:
+    def test_every_node_assigned(self, graph):
+        partition = bfs_partition(graph, 4, seed=0)
+        assert (partition.assignment >= 0).all()
+        assert partition.sizes().sum() == graph.n_nodes
+
+    def test_balanced_within_one_capacity(self, graph):
+        partition = bfs_partition(graph, 4, seed=0)
+        sizes = partition.sizes()
+        assert sizes.max() <= -(-graph.n_nodes // 4) + 1
+
+    def test_single_part(self, graph):
+        partition = bfs_partition(graph, 1)
+        assert partition.edge_cut(graph) == 0
+
+    def test_edge_cut_counts_crossings(self):
+        from repro.graphs import Graph
+
+        graph = Graph(n_nodes=4, src=np.array([0, 2]), dst=np.array([1, 3]))
+        partition = Partition(assignment=np.array([0, 0, 1, 1]), n_parts=2)
+        assert partition.edge_cut(graph) == 0
+        crossing = Partition(assignment=np.array([0, 1, 0, 1]), n_parts=2)
+        assert crossing.edge_cut(graph) == 2
+
+    def test_validation(self, graph):
+        with pytest.raises(ValueError):
+            bfs_partition(graph, 0)
+        with pytest.raises(ValueError):
+            bfs_partition(graph, graph.n_nodes + 1)
+        with pytest.raises(ValueError):
+            Partition(assignment=np.array([0, 5]), n_parts=2)
+
+    def test_bfs_partition_locality(self, graph):
+        """BFS growth should cut fewer edges than random assignment."""
+        partition = bfs_partition(graph, 4, seed=0)
+        rng = np.random.default_rng(0)
+        random_partition = Partition(
+            assignment=rng.integers(0, 4, graph.n_nodes), n_parts=4
+        )
+        assert partition.edge_cut(graph) < random_partition.edge_cut(graph)
+
+
+class TestBoundary:
+    def test_boundary_nodes_belong_to_part(self, graph):
+        partition = bfs_partition(graph, 3, seed=1)
+        for part in range(3):
+            boundary = boundary_nodes(graph, partition, part)
+            assert (partition.assignment[boundary] == part).all()
+
+    def test_boundary_nodes_have_crossing_edges(self, graph):
+        partition = bfs_partition(graph, 3, seed=1)
+        boundary = set(boundary_nodes(graph, partition, 0).tolist())
+        assignment = partition.assignment
+        for node in list(boundary)[:10]:
+            touches = (
+                ((graph.src == node) & (assignment[graph.dst] != 0))
+                | ((graph.dst == node) & (assignment[graph.src] != 0))
+            )
+            assert touches.any()
+
+
+class TestInducedSubgraph:
+    def test_subgraph_edges_internal_only(self, graph):
+        nodes = np.arange(0, graph.n_nodes, 2)
+        sub = induced_subgraph(graph, nodes)
+        assert sub.n_nodes == len(nodes)
+        assert sub.n_edges <= graph.n_edges
+        assert (sub.src < sub.n_nodes).all()
+
+    def test_subgraph_edge_set_matches_dense(self, graph):
+        nodes = np.arange(50)
+        sub = induced_subgraph(graph, nodes)
+        full = graph.adjacency("none").to_dense()
+        np.testing.assert_array_equal(
+            sub.adjacency("none").to_dense(), full[np.ix_(nodes, nodes)]
+        )
+
+    def test_payloads_sliced(self, graph):
+        nodes = np.array([5, 10, 20])
+        sub = induced_subgraph(graph, nodes)
+        np.testing.assert_array_equal(sub.features, graph.features[nodes])
+        np.testing.assert_array_equal(sub.labels, graph.labels[nodes])
+
+    def test_out_of_range_rejected(self, graph):
+        with pytest.raises(ValueError):
+            induced_subgraph(graph, np.array([graph.n_nodes]))
+
+
+class TestBnsSample:
+    def test_contains_all_interior_nodes(self, graph):
+        partition = bfs_partition(graph, 3, seed=2)
+        sub = bns_sample(graph, partition, 0, boundary_fraction=0.0)
+        assert sub.n_nodes == len(partition.members(0))
+
+    def test_boundary_fraction_grows_subgraph(self, graph):
+        partition = bfs_partition(graph, 3, seed=2)
+        small = bns_sample(graph, partition, 0, boundary_fraction=0.0)
+        large = bns_sample(graph, partition, 0, boundary_fraction=1.0)
+        assert large.n_nodes >= small.n_nodes
+
+    def test_fraction_validation(self, graph):
+        partition = bfs_partition(graph, 2)
+        with pytest.raises(ValueError):
+            bns_sample(graph, partition, 0, boundary_fraction=1.5)
+
+
+class TestSamplers:
+    def test_node_sampler_size(self, graph):
+        sub = node_sampler(graph, 40, seed=0)
+        assert sub.n_nodes == 40
+
+    def test_node_sampler_deterministic(self, graph):
+        a = node_sampler(graph, 40, seed=5)
+        b = node_sampler(graph, 40, seed=5)
+        np.testing.assert_array_equal(a.features, b.features)
+
+    def test_edge_sampler_nonempty(self, graph):
+        sub = edge_sampler(graph, 60, seed=0)
+        assert sub.n_edges > 0
+        assert sub.n_nodes <= 120
+
+    def test_random_walk_sampler_connected_ish(self, graph):
+        sub = random_walk_sampler(graph, n_roots=5, walk_length=10, seed=0)
+        assert 5 <= sub.n_nodes <= 55
+
+    def test_khop_respects_fanout(self, graph):
+        seeds = np.array([0, 1])
+        one_hop = khop_neighborhood(graph, seeds, n_hops=1, fanout=2)
+        # 2 seeds + at most 2 parents each.
+        assert one_hop.n_nodes <= 2 + 2 * 2
+
+    def test_khop_zero_hops_is_seeds_only(self, graph):
+        seeds = np.array([3, 7, 9])
+        sub = khop_neighborhood(graph, seeds, n_hops=0, fanout=4)
+        assert sub.n_nodes == 3
+
+    def test_sampler_validation(self, graph):
+        with pytest.raises(ValueError):
+            node_sampler(graph, 0)
+        with pytest.raises(ValueError):
+            edge_sampler(graph, 0)
+        with pytest.raises(ValueError):
+            random_walk_sampler(graph, 0, 5)
+        with pytest.raises(ValueError):
+            khop_neighborhood(graph, np.array([0]), -1, 2)
+        with pytest.raises(ValueError):
+            khop_neighborhood(graph, np.array([graph.n_nodes]), 1, 2)

@@ -1,0 +1,102 @@
+"""Tests for partition-parallel and sampled training with MaxK models."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import attach_classification_task, sbm_graph
+from repro.models import GNNConfig, MaxKGNN
+from repro.training import (
+    PartitionedTrainer,
+    SampledTrainer,
+    copy_parameters,
+)
+
+
+@pytest.fixture
+def graph():
+    graph = sbm_graph(180, 4, 8.0, intra_fraction=0.7, seed=9).to_undirected()
+    attach_classification_task(graph, n_features=8, signal=0.5, seed=9)
+    return graph
+
+
+def maxk_config():
+    return GNNConfig(
+        model_type="sage", in_features=8, hidden=16, out_features=4,
+        n_layers=2, nonlinearity="maxk", k=4, dropout=0.1,
+    )
+
+
+class TestCopyParameters:
+    def test_round_trip(self, graph):
+        a = MaxKGNN(graph, maxk_config(), seed=0)
+        b = MaxKGNN(graph, maxk_config(), seed=1)
+        copy_parameters(a, b)
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_shape_mismatch_rejected(self, graph):
+        a = MaxKGNN(graph, maxk_config(), seed=0)
+        other = GNNConfig("sage", 8, 32, 4, 2, "maxk", 4)
+        b = MaxKGNN(graph, other, seed=0)
+        with pytest.raises(ValueError):
+            copy_parameters(a, b)
+
+
+class TestPartitionedTrainer:
+    def test_training_reduces_loss(self, graph):
+        trainer = PartitionedTrainer(
+            graph, maxk_config(), n_parts=3, boundary_fraction=0.3, lr=0.01
+        )
+        result = trainer.fit(rounds=3, epochs_per_part=3)
+        assert len(result.round_losses) > 0
+        assert result.round_losses[-1] < result.round_losses[0]
+
+    def test_full_graph_evaluation_above_chance(self, graph):
+        trainer = PartitionedTrainer(
+            graph, maxk_config(), n_parts=3, boundary_fraction=0.3, lr=0.01
+        )
+        result = trainer.fit(rounds=4, epochs_per_part=4)
+        assert result.test_metric > 1.0 / 4
+
+    def test_subgraph_sizes_recorded(self, graph):
+        trainer = PartitionedTrainer(graph, maxk_config(), n_parts=2)
+        result = trainer.fit(rounds=1, epochs_per_part=1)
+        assert all(size > 0 for size in result.subgraph_sizes)
+
+    def test_validation(self, graph):
+        with pytest.raises(ValueError):
+            PartitionedTrainer(graph, maxk_config(), n_parts=0)
+        trainer = PartitionedTrainer(graph, maxk_config(), n_parts=2)
+        with pytest.raises(ValueError):
+            trainer.fit(rounds=0)
+
+    def test_maxk_config_requires_k(self, graph):
+        config = GNNConfig("sage", 8, 16, 4, 2, "relu")
+        # ReLU configs are fine too — MaxK is optional here.
+        trainer = PartitionedTrainer(graph, config, n_parts=2)
+        result = trainer.fit(rounds=1, epochs_per_part=1)
+        assert result.round_losses
+
+
+class TestSampledTrainer:
+    def test_training_reduces_loss(self, graph):
+        trainer = SampledTrainer(graph, maxk_config(), sample_size=90, lr=0.01)
+        result = trainer.fit(rounds=5, epochs_per_sample=3)
+        assert result.round_losses[-1] < result.round_losses[0]
+
+    def test_subgraphs_are_sampled_size(self, graph):
+        trainer = SampledTrainer(graph, maxk_config(), sample_size=60)
+        result = trainer.fit(rounds=2, epochs_per_sample=1)
+        assert all(size == 60 for size in result.subgraph_sizes)
+
+    def test_generalises_above_chance(self, graph):
+        trainer = SampledTrainer(graph, maxk_config(), sample_size=120, lr=0.01)
+        result = trainer.fit(rounds=6, epochs_per_sample=4)
+        assert result.test_metric > 1.0 / 4
+
+    def test_validation(self, graph):
+        with pytest.raises(ValueError):
+            SampledTrainer(graph, maxk_config(), sample_size=0)
+        trainer = SampledTrainer(graph, maxk_config(), sample_size=50)
+        with pytest.raises(ValueError):
+            trainer.fit(rounds=0)

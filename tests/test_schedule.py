@@ -1,0 +1,114 @@
+"""Tests for the warp-level schedule simulator."""
+
+import pytest
+
+from repro.gpusim import (
+    A100,
+    simulate_row_split_spmm,
+    simulate_spgemm_schedule,
+    simulate_sspmm_schedule,
+)
+from repro.gpusim.schedule import ScheduleResult, WarpTask, _list_schedule
+from repro.graphs import chain_of_cliques, erdos_renyi_graph, rmat_graph
+
+
+@pytest.fixture(scope="module")
+def skewed_adj():
+    return rmat_graph(512, 8192, seed=13).adjacency("none")
+
+
+class TestListScheduler:
+    def test_empty(self):
+        result = _list_schedule([], 8)
+        assert result.total_cycles == 0.0
+        assert result.occupancy == 0.0
+        assert result.balance == 1.0
+
+    def test_single_task(self):
+        result = _list_schedule([WarpTask(0, 100.0, 5)], 4)
+        assert result.total_cycles == 100.0
+        assert result.critical_task_cycles == 100.0
+
+    def test_perfect_packing(self):
+        tasks = [WarpTask(i, 10.0, 1) for i in range(8)]
+        result = _list_schedule(tasks, 4)
+        assert result.total_cycles == 20.0
+        assert result.occupancy == 1.0
+
+    def test_straggler_bounds_makespan(self):
+        tasks = [WarpTask(0, 100.0, 1)] + [WarpTask(i, 1.0, 1) for i in range(1, 10)]
+        result = _list_schedule(tasks, 4)
+        assert result.total_cycles == pytest.approx(100.0, rel=0.1)
+        assert result.occupancy < 0.5
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ValueError):
+            _list_schedule([], 0)
+
+
+class TestKernelSchedules:
+    def test_spgemm_cycles_positive_and_finite(self, skewed_adj):
+        result = simulate_spgemm_schedule(skewed_adj, 256, 16, A100)
+        assert result.total_cycles > 0
+        assert 0 < result.occupancy <= 1.0
+
+    def test_spgemm_busy_cycles_grow_with_k(self, skewed_adj):
+        """Total work grows with k (makespan only does so once the machine
+        is saturated — this graph has fewer warps than slots)."""
+        cycles = [
+            simulate_spgemm_schedule(skewed_adj, 256, k, A100).busy_cycles
+            for k in (4, 16, 64)
+        ]
+        assert cycles == sorted(cycles)
+
+    def test_spgemm_busy_cycles_floor_at_small_k(self, skewed_adj):
+        """The k-independent write-back stage floors the cycle count —
+        the schedule-level view of the Fig.-8 saturation."""
+        tiny = simulate_spgemm_schedule(skewed_adj, 256, 2, A100).busy_cycles
+        small = simulate_spgemm_schedule(skewed_adj, 256, 4, A100).busy_cycles
+        assert small / tiny < 1.5  # nowhere near the 2x work ratio
+
+    def test_sspmm_schedule_runs(self, skewed_adj):
+        result = simulate_sspmm_schedule(skewed_adj, 256, 16, A100)
+        assert result.total_cycles > 0
+
+    def test_edge_groups_beat_row_split_balance(self, skewed_adj):
+        """The schedule-level version of the evil-row claim."""
+        row_split = simulate_row_split_spmm(skewed_adj, 256, A100)
+        edge_groups = simulate_spgemm_schedule(skewed_adj, 256, 256, A100)
+        # With dim_k = dim_origin the work volumes match; balance must not.
+        assert edge_groups.balance > row_split.balance
+
+    def test_schedule_agrees_with_cost_model_ordering(self, skewed_adj):
+        """Cross-validation: both models must order k identically."""
+        from repro.gpusim import SparsePattern, spgemm_cost
+
+        pattern = SparsePattern.from_csr(skewed_adj)
+        for k_small, k_large in ((4, 32), (16, 128)):
+            sim_ratio = (
+                simulate_spgemm_schedule(skewed_adj, 256, k_large, A100).busy_cycles
+                / simulate_spgemm_schedule(skewed_adj, 256, k_small, A100).busy_cycles
+            )
+            model_ratio = (
+                spgemm_cost(pattern, 256, k_large, A100).latency
+                / spgemm_cost(pattern, 256, k_small, A100).latency
+            )
+            assert sim_ratio > 1.0 and model_ratio > 1.0
+
+    def test_empty_graph(self):
+        from repro.sparse import coo_to_csr
+
+        empty = coo_to_csr([], [], [], (4, 4))
+        result = simulate_spgemm_schedule(empty, 64, 8, A100)
+        assert result.total_cycles == 0.0
+
+    def test_uniform_graph_high_occupancy(self):
+        adjacency = erdos_renyi_graph(2048, 16.0, seed=3).adjacency("none")
+        result = simulate_spgemm_schedule(adjacency, 256, 16, A100)
+        assert result.balance > 0.3
+
+    def test_tiny_graph_low_occupancy(self):
+        """A graph with fewer warps than slots cannot fill the machine."""
+        adjacency = chain_of_cliques(2, 4).adjacency("none")
+        result = simulate_spgemm_schedule(adjacency, 64, 8, A100)
+        assert result.occupancy < 0.05

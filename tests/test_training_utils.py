@@ -1,0 +1,149 @@
+"""Tests for checkpointing, LR schedulers, early stopping, seed averaging."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import attach_classification_task, sbm_graph
+from repro.models import GNNConfig, MaxKGNN
+from repro.tensor import Adam, Tensor
+from repro.training import (
+    CosineLR,
+    EarlyStopping,
+    StepLR,
+    load_checkpoint,
+    load_state_dict,
+    run_seeded,
+    save_checkpoint,
+    state_dict,
+)
+
+
+@pytest.fixture
+def model():
+    graph = sbm_graph(60, 3, 5.0, seed=2).to_undirected()
+    attach_classification_task(graph, n_features=6, seed=2)
+    config = GNNConfig("sage", 6, 8, 3, 2, "maxk", k=2)
+    return MaxKGNN(graph, config, seed=0), graph
+
+
+class TestCheckpoint:
+    def test_state_dict_round_trip(self, model):
+        net, graph = model
+        state = state_dict(net)
+        clone = MaxKGNN(graph, net.config, seed=99)
+        load_state_dict(clone, state)
+        x = graph.features
+        np.testing.assert_allclose(
+            net.eval()(x).numpy(), clone.eval()(x).numpy()
+        )
+
+    def test_file_round_trip(self, model, tmp_path):
+        net, graph = model
+        path = tmp_path / "checkpoint.npz"
+        save_checkpoint(net, path)
+        clone = MaxKGNN(graph, net.config, seed=42)
+        load_checkpoint(clone, path)
+        for original, restored in zip(net.parameters(), clone.parameters()):
+            np.testing.assert_array_equal(original.data, restored.data)
+
+    def test_missing_key_rejected(self, model):
+        net, _ = model
+        state = state_dict(net)
+        state.pop("param_0")
+        with pytest.raises(ValueError, match="keys"):
+            load_state_dict(net, state)
+
+    def test_shape_mismatch_rejected(self, model):
+        net, _ = model
+        state = state_dict(net)
+        state["param_0"] = np.zeros((1, 1))
+        with pytest.raises(ValueError, match="shape"):
+            load_state_dict(net, state)
+
+
+class TestSchedulers:
+    def optimizer(self):
+        return Adam([Tensor(np.ones(2), requires_grad=True)], lr=0.1)
+
+    def test_step_lr_decays(self):
+        optimizer = self.optimizer()
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.5)
+        lrs = []
+        for _ in range(4):
+            scheduler.step()
+            lrs.append(optimizer.lr)
+        assert lrs == pytest.approx([0.1, 0.05, 0.05, 0.025])
+
+    def test_cosine_endpoints(self):
+        optimizer = self.optimizer()
+        scheduler = CosineLR(optimizer, t_max=10, min_lr=0.01)
+        assert scheduler.lr_at(0) == pytest.approx(0.1)
+        assert scheduler.lr_at(10) == pytest.approx(0.01)
+        assert scheduler.lr_at(5) == pytest.approx((0.1 + 0.01) / 2)
+
+    def test_cosine_clamps_past_t_max(self):
+        optimizer = self.optimizer()
+        scheduler = CosineLR(optimizer, t_max=5)
+        assert scheduler.lr_at(50) == pytest.approx(0.0, abs=1e-12)
+
+    def test_monotone_decay(self):
+        optimizer = self.optimizer()
+        scheduler = CosineLR(optimizer, t_max=20)
+        values = [scheduler.lr_at(e) for e in range(21)]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        optimizer = self.optimizer()
+        with pytest.raises(ValueError):
+            StepLR(optimizer, step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(optimizer, step_size=1, gamma=0.0)
+        with pytest.raises(ValueError):
+            CosineLR(optimizer, t_max=0)
+        with pytest.raises(ValueError):
+            CosineLR(optimizer, t_max=5, min_lr=1.0)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=2)
+        assert not stopper.update(0.5)
+        assert not stopper.update(0.4)  # stale 1
+        assert stopper.update(0.45)  # stale 2 -> stop
+
+    def test_improvement_resets(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.update(0.5)
+        stopper.update(0.4)
+        assert not stopper.update(0.6)  # improvement resets
+        assert stopper.stale == 0
+
+    def test_min_delta(self):
+        stopper = EarlyStopping(patience=1, min_delta=0.1)
+        stopper.update(0.5)
+        assert stopper.update(0.55)  # within delta -> stale -> stop
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ValueError):
+            EarlyStopping(min_delta=-1.0)
+
+
+class TestSeededRuns:
+    def test_mean_and_std(self):
+        result = run_seeded("Flickr", n_seeds=2, epochs=15)
+        assert result.n_seeds == 2
+        assert 0.0 <= result.mean <= 1.0
+        assert result.std >= 0.0
+        assert result.metric_name == "accuracy"
+
+    def test_maxk_configuration(self):
+        result = run_seeded(
+            "Flickr", nonlinearity="maxk", k=8, n_seeds=1, epochs=10
+        )
+        assert 0.0 <= result.mean <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_seeded("Flickr", n_seeds=0)
