@@ -135,6 +135,7 @@ def test_ablation_index_width(benchmark, record_result):
         assert row[3] == pytest.approx(8 / 5)
 
 
+@pytest.mark.slow
 def test_ablation_reordering_locality(benchmark, record_result):
     """Rabbit-order-style reordering improves the SpMM cache behaviour."""
 

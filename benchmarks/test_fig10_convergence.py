@@ -4,9 +4,12 @@ Paper: MaxK at k = 64/32/8 converges like (or slightly faster than) the
 ReLU baseline on full-batch training.
 """
 
+import pytest
+
 from repro.experiments import fig10_convergence
 
 
+@pytest.mark.slow
 def test_fig10_convergence(benchmark, record_result):
     result = benchmark.pedantic(
         fig10_convergence.run, rounds=1, iterations=1

@@ -1,0 +1,62 @@
+"""Wall-clock comparison of the sparse-ops backends on the training hot path.
+
+Times the SpMM aggregation (the operation the fig10 trainer spends ~90% of
+its epoch in) on the scaled ogbn-products adjacency for every registered
+backend, next to the seed implementation's unordered ``np.add.at`` scatter,
+and records the table to ``benchmarks/results/``. This is the repo's
+recorded perf baseline for the backend architecture.
+"""
+
+import timeit
+
+import numpy as np
+
+from repro.experiments.common import format_table
+from repro.graphs import load_training_dataset
+from repro.sparse import ops
+
+DIM = 64
+REPEATS = 5
+
+
+def _seed_add_at_spmm(adj, x):
+    """The pre-backend implementation: gather + unordered np.add.at."""
+    gathered = x[adj.indices] * adj.data[:, None]
+    out = np.zeros((adj.n_rows,) + x.shape[1:], dtype=np.float64)
+    row_ids = np.repeat(np.arange(adj.n_rows), adj.row_degrees())
+    np.add.at(out, row_ids, gathered)
+    return out
+
+
+def test_sparse_backend_spmm_speedup(record_result):
+    graph = load_training_dataset("ogbn-products", seed=0)
+    adj = graph.adjacency("sage")
+    x = np.random.default_rng(0).normal(size=(graph.n_nodes, DIM))
+
+    baseline = min(
+        timeit.repeat(lambda: _seed_add_at_spmm(adj, x), number=1, repeat=REPEATS)
+    )
+    expected = _seed_add_at_spmm(adj, x)
+
+    rows = [("np.add.at (seed)", baseline * 1e3, 1.0)]
+    timings = {}
+    for name in ops.available_backends():
+        if name == "reference":
+            continue  # python-loop oracle; not a performance point
+        with ops.use_backend(name):
+            np.testing.assert_allclose(
+                adj.matmul_dense(x), expected, rtol=1e-10, atol=1e-12
+            )
+            timings[name] = min(
+                timeit.repeat(
+                    lambda: adj.matmul_dense(x), number=1, repeat=REPEATS
+                )
+            )
+        rows.append((name, timings[name] * 1e3, baseline / timings[name]))
+
+    table = format_table(["implementation", "ms", "speedup"], rows, precision=3)
+    record_result("sparse_backend_spmm", table)
+
+    # Every vectorized backend must beat the seed's unordered scatter.
+    for name, seconds in timings.items():
+        assert seconds < baseline, (name, seconds, baseline)

@@ -5,9 +5,12 @@ cache simulator. Paper: traffic 138.05/13.13/14.02 GB, L1 hit
 1.53/22.16/28.27%, L2 hit 51.75/75.44/89.43% for SpMM/SpGEMM/SSpMM.
 """
 
+import pytest
+
 from repro.experiments import table2_memory
 
 
+@pytest.mark.slow
 def test_table2_memory_system(benchmark, record_result):
     study = benchmark.pedantic(table2_memory.run, rounds=1, iterations=1)
     record_result("table2_memory", table2_memory.report(study))

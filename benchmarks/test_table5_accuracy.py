@@ -14,6 +14,10 @@ import pytest
 from repro.experiments import table5_accuracy
 from repro.graphs import TRAINING_CONFIGS
 
+# Every test shares the full-table training fixture (~all datasets x all
+# variants), which dominates the suite's wall clock.
+pytestmark = pytest.mark.slow
+
 FULL = os.environ.get("REPRO_FULL_TABLE5") == "1"
 MODELS = ["sage", "gcn", "gin"] if FULL else ["sage"]
 

@@ -35,6 +35,7 @@ def run():
     return cells
 
 
+@pytest.mark.slow
 def test_seed_variance_study(benchmark, record_result):
     cells = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = [

@@ -23,6 +23,8 @@ from typing import Tuple
 
 import numpy as np
 
+from ..sparse import ops
+
 __all__ = ["CBSRMatrix", "index_dtype_for"]
 
 
@@ -112,10 +114,7 @@ class CBSRMatrix:
         n_rows, dim_origin = dense.shape
         if not 1 <= k <= dim_origin:
             raise ValueError("k must be in [1, dim_origin]")
-        # argpartition on |value| keeps the k largest magnitudes per row.
-        magnitude = np.abs(dense)
-        top_cols = np.argpartition(magnitude, dim_origin - k, axis=1)[:, dim_origin - k:]
-        top_cols = np.sort(top_cols, axis=1)
+        top_cols = ops.topk_columns(dense, k)
         rows = np.arange(n_rows)[:, None]
         return cls(
             sp_data=dense[rows, top_cols],

@@ -6,8 +6,10 @@ only the surviving positions receive gradient.
 
 Two selection algorithms are provided:
 
-* :func:`maxk_forward` — exact numpy ``argpartition`` selection; this is the
-  numerical reference used by training.
+* :func:`maxk_forward` — exact top-k selection through the sparse-ops
+  backend (``np.partition`` threshold with lowest-column tie fill on the
+  vectorized backends, a stable per-row sort on the reference backend);
+  this is the numerical path training uses.
 * :func:`pivot_select_row` / :func:`pivot_select` — the paper's GPU kernel
   algorithm (§5.3): bisect a pivot between the row min and max until exactly
   ``k`` elements exceed it, falling back to rank selection among ties. The
@@ -20,6 +22,8 @@ from dataclasses import dataclass
 from typing import Tuple
 
 import numpy as np
+
+from ..sparse import ops
 
 __all__ = [
     "maxk_forward",
@@ -44,16 +48,7 @@ def maxk_mask(x: np.ndarray, k: int) -> np.ndarray:
     n_rows, dim = x.shape
     if not 1 <= k <= dim:
         raise ValueError(f"k must be in [1, {dim}], got {k}")
-    if k == dim:
-        return np.ones_like(x, dtype=bool)
-    # Stable top-k: bias by a tiny per-column epsilon so ties resolve to the
-    # lowest column index deterministically.
-    tie_break = -np.arange(dim, dtype=np.float64) * 1e-12
-    keyed = x + tie_break
-    threshold_idx = np.argpartition(keyed, dim - k, axis=1)[:, dim - k:]
-    mask = np.zeros_like(x, dtype=bool)
-    np.put_along_axis(mask, threshold_idx, True, axis=1)
-    return mask
+    return ops.topk_mask(x, k)
 
 
 def maxk_forward(x: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:

@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...core.cbsr import CBSRMatrix
-from ...sparse import CSRMatrix, WarpPartition, partition_edge_groups
+from ...sparse import CSRMatrix, WarpPartition, ops, partition_edge_groups
 from ..device import DeviceModel
 from ..memory import TrafficReport, spgemm_traffic_bytes
 from .base import KernelCost, SparsePattern, bounded_latency
@@ -48,16 +48,15 @@ def spgemm_execute(adj: CSRMatrix, features: CBSRMatrix) -> np.ndarray:
             f"A has {adj.n_cols} columns but CBSR features have "
             f"{features.n_rows} rows"
         )
-    n_rows, dim_origin = adj.n_rows, features.dim_origin
-    row_ids = np.repeat(np.arange(n_rows, dtype=np.int64), adj.row_degrees())
-    sources = adj.indices
-    contributions = adj.data[:, None] * features.sp_data[sources]
-    flat_targets = (
-        row_ids[:, None] * dim_origin + features.sp_index[sources].astype(np.int64)
+    return ops.spgemm_cbsr(
+        adj.indptr,
+        adj.indices,
+        adj.data,
+        features.sp_data,
+        features.sp_index,
+        features.dim_origin,
+        adj.n_rows,
     )
-    out = np.zeros(n_rows * dim_origin, dtype=np.float64)
-    np.add.at(out, flat_targets.ravel(), contributions.ravel())
-    return out.reshape(n_rows, dim_origin)
 
 
 def spgemm_execute_edge_groups(
@@ -115,8 +114,11 @@ def spgemm_cost(
         raise ValueError("dim_k must be in [1, dim_origin]")
     traffic = spgemm_request_traffic(pattern, dim_origin, dim_k, device)
     flops = 2.0 * pattern.nnz * dim_k
+    utilization = device.sparse_kernel_utilization(
+        device.util_spgemm, dim_k / dim_origin
+    )
     latency = bounded_latency(
-        device, traffic, flops, device.util_spgemm, device.l2_service_boost
+        device, traffic, flops, utilization, device.l2_service_boost
     )
     return KernelCost(name="spgemm", traffic=traffic, flops=flops, latency=latency)
 

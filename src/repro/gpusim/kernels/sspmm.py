@@ -25,7 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...core.cbsr import CBSRMatrix
-from ...sparse import CSRMatrix, partition_edge_groups
+from ...sparse import CSRMatrix, ops, partition_edge_groups
 from ..device import DeviceModel
 from ..memory import TrafficReport, sspmm_read_bytes, sspmm_write_bytes
 from .base import KernelCost, SparsePattern, bounded_latency
@@ -56,17 +56,15 @@ def sspmm_execute(
             f"grad_out shape {grad_out.shape} does not match "
             f"({adj.n_rows}, {sparsity.dim_origin})"
         )
-    k = sparsity.k
-    row_ids = np.repeat(np.arange(adj.n_rows, dtype=np.int64), adj.row_degrees())
-    sources = adj.indices
-    gathered = grad_out[
-        row_ids[:, None], sparsity.sp_index[sources].astype(np.int64)
-    ]
-    contributions = adj.data[:, None] * gathered
-    sp_data = np.zeros((sparsity.n_rows, k), dtype=np.float64)
-    flat_targets = sources[:, None] * k + np.arange(k, dtype=np.int64)[None, :]
-    np.add.at(sp_data.ravel(), flat_targets.ravel(), contributions.ravel())
-    return sparsity.with_data(sp_data.reshape(sparsity.n_rows, k))
+    sp_data = ops.sspmm_cbsr(
+        adj.indptr,
+        adj.indices,
+        adj.data,
+        grad_out,
+        sparsity.sp_index,
+        sparsity.n_rows,
+    )
+    return sparsity.with_data(sp_data)
 
 
 def sspmm_execute_prefetch(
@@ -126,8 +124,11 @@ def sspmm_cost(
         raise ValueError("dim_k must be in [1, dim_origin]")
     traffic = sspmm_request_traffic(pattern, dim_origin, dim_k, device)
     flops = 2.0 * pattern.nnz * dim_k
+    utilization = device.sparse_kernel_utilization(
+        device.util_sspmm, dim_k / dim_origin
+    )
     latency = bounded_latency(
-        device, traffic, flops, device.util_sspmm, device.l2_service_boost
+        device, traffic, flops, utilization, device.l2_service_boost
     )
     return KernelCost(name="sspmm", traffic=traffic, flops=flops, latency=latency)
 

@@ -66,14 +66,10 @@ class Graph:
         return self.n_edges / self.n_nodes if self.n_nodes else 0.0
 
     def in_degrees(self) -> np.ndarray:
-        deg = np.zeros(self.n_nodes, dtype=np.int64)
-        np.add.at(deg, self.dst, 1)
-        return deg
+        return np.bincount(self.dst, minlength=self.n_nodes).astype(np.int64)
 
     def out_degrees(self) -> np.ndarray:
-        deg = np.zeros(self.n_nodes, dtype=np.int64)
-        np.add.at(deg, self.src, 1)
-        return deg
+        return np.bincount(self.src, minlength=self.n_nodes).astype(np.int64)
 
     def degree_skew(self) -> float:
         """Gini coefficient of the in-degree distribution (0 = uniform).

@@ -18,7 +18,7 @@ import numpy as np
 
 from ..graphs import Graph
 from ..tensor import Tensor, maxk, relu
-from ..tensor.segment import exp, leaky_relu, segment_max_values, segment_sum
+from ..tensor.segment import leaky_relu, segment_softmax, segment_sum
 from .modules import Linear, Module
 
 __all__ = ["GATConv"]
@@ -83,14 +83,9 @@ class GATConv(Module):
             score_src[self.src] + score_dst[self.dst], self.negative_slope
         )
 
-        # Per-destination softmax, max-shifted for stability. The shift is
-        # treated as a constant (standard practice — its gradient is zero
-        # almost everywhere).
-        shift = segment_max_values(edge_scores.data, self.dst, self.n_nodes)
-        exp_scores = exp(edge_scores - shift[self.dst])
-        normaliser = segment_sum(exp_scores, self.dst, self.n_nodes)
-        denominator = normaliser[self.dst] + 1e-16
-        alpha = exp_scores / denominator
+        # Per-destination softmax, max-shifted for stability; forward and
+        # backward both run on the sparse-ops backend's segment primitives.
+        alpha = segment_softmax(edge_scores, self.dst, self.n_nodes)
 
         # Attention-weighted aggregation of the (possibly MaxK-sparse) h.
         weighted = h[self.src] * alpha.reshape(-1, 1)

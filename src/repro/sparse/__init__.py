@@ -1,6 +1,9 @@
-"""Sparse-matrix substrate: CSR/CSC storage and warp-level partitioning."""
+"""Sparse-matrix substrate: CSR/CSC storage, segment-op backends and
+warp-level partitioning."""
 
+from . import ops
 from .csr import CSCMatrix, CSRMatrix, coo_to_csr
+from .ops import available_backends, get_backend, set_backend, use_backend
 from .partition import (
     CASE_BOUNDARY_DIM_K,
     WARP_SIZE,
@@ -14,6 +17,11 @@ __all__ = [
     "CSRMatrix",
     "CSCMatrix",
     "coo_to_csr",
+    "ops",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "use_backend",
     "EdgeGroup",
     "WarpPartition",
     "partition_edge_groups",

@@ -18,6 +18,8 @@ from typing import Iterator, Tuple
 
 import numpy as np
 
+from . import ops
+
 __all__ = ["CSRMatrix", "CSCMatrix", "coo_to_csr"]
 
 
@@ -180,21 +182,19 @@ class CSRMatrix:
         return self.with_data(self.data * col_scale[self.indices])
 
     def matmul_dense(self, x: np.ndarray) -> np.ndarray:
-        """Reference ``A @ X`` used to validate the kernel dataflows.
+        """``A @ X`` through the active sparse-ops backend.
 
-        Vectorised segment-sum over the edge list; numerically this is the
-        exact computation the forward SpGEMM kernel performs.
+        Segment-sum over the edge list; numerically this is the exact
+        computation the forward SpGEMM kernel performs. The implementation
+        (naive loop, bincount/reduceat, scipy CSR kernel) is selected by
+        :mod:`repro.sparse.ops`.
         """
         x = np.asarray(x, dtype=np.float64)
         if x.shape[0] != self.n_cols:
             raise ValueError(
                 f"dimension mismatch: A is {self.shape}, X has {x.shape[0]} rows"
             )
-        gathered = x[self.indices] * self.data[:, None]
-        out = np.zeros((self.n_rows,) + x.shape[1:], dtype=np.float64)
-        row_ids = np.repeat(np.arange(self.n_rows), self.row_degrees())
-        np.add.at(out, row_ids, gathered)
-        return out
+        return ops.spmm_csr(self.indptr, self.indices, self.data, x, self.n_rows)
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, CSRMatrix):
@@ -278,11 +278,11 @@ def coo_to_csr(rows, cols, data, shape) -> CSRMatrix:
         is_new[0] = True
         is_new[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
         group_ids = np.cumsum(is_new) - 1
-        merged_data = np.zeros(group_ids[-1] + 1, dtype=np.float64)
-        np.add.at(merged_data, group_ids, data)
+        merged_data = np.bincount(
+            group_ids, weights=data, minlength=group_ids[-1] + 1
+        )
         rows, cols, data = rows[is_new], cols[is_new], merged_data
 
     indptr = np.zeros(n_rows + 1, dtype=np.int64)
-    np.add.at(indptr, rows + 1, 1)
-    indptr = np.cumsum(indptr)
+    np.cumsum(np.bincount(rows, minlength=n_rows), out=indptr[1:])
     return CSRMatrix(indptr=indptr, indices=cols, data=data, shape=shape)

@@ -13,7 +13,13 @@ from .functional import (
     spmm_agg,
 )
 from .init import kaiming_uniform, xavier_uniform, zeros
-from .segment import exp, leaky_relu, segment_max_values, segment_sum
+from .segment import (
+    exp,
+    leaky_relu,
+    segment_max_values,
+    segment_softmax,
+    segment_sum,
+)
 from .optim import SGD, Adam
 from .tensor import Tensor, is_grad_enabled, no_grad
 
@@ -38,6 +44,7 @@ __all__ = [
     "zeros",
     "segment_sum",
     "segment_max_values",
+    "segment_softmax",
     "exp",
     "leaky_relu",
 ]

@@ -1,11 +1,15 @@
 """Segment operations and pointwise extras for attention-style GNN layers.
 
 GAT-style models need per-destination softmax over edge scores. These ops
-keep that expressible inside the autograd engine:
+keep that expressible inside the autograd engine while routing every
+numeric reduction through the pluggable sparse-ops backend
+(:mod:`repro.sparse.ops`):
 
 * :func:`segment_sum` — scatter-add rows into segments (backward: gather);
 * :func:`segment_max_values` — per-segment max as *data* (used only for
   softmax stabilisation, so it intentionally carries no gradient);
+* :func:`segment_softmax` — per-segment softmax with the closed-form
+  backward ``alpha * (g - sum_seg(alpha * g))``;
 * :func:`exp` / :func:`leaky_relu` — pointwise ops GAT scoring needs.
 """
 
@@ -13,9 +17,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..sparse import ops
 from .tensor import Tensor
 
-__all__ = ["segment_sum", "segment_max_values", "exp", "leaky_relu"]
+__all__ = [
+    "segment_sum",
+    "segment_max_values",
+    "segment_softmax",
+    "exp",
+    "leaky_relu",
+]
 
 
 def segment_sum(x: Tensor, segment_ids: np.ndarray, n_segments: int) -> Tensor:
@@ -34,12 +45,11 @@ def segment_sum(x: Tensor, segment_ids: np.ndarray, n_segments: int) -> Tensor:
     ):
         raise ValueError("segment ids out of range")
 
-    out = np.zeros((n_segments,) + x.data.shape[1:], dtype=np.float64)
-    np.add.at(out, segment_ids, x.data)
+    out = ops.segment_sum(x.data, segment_ids, n_segments)
 
     def backward(grad):
         if x.requires_grad:
-            x._accumulate(np.asarray(grad)[segment_ids])
+            x._accumulate(ops.gather_scale(np.asarray(grad), segment_ids))
 
     return Tensor._make(out, (x,), backward)
 
@@ -51,17 +61,35 @@ def segment_max_values(
 
     Empty segments get 0 — harmless because nothing indexes into them.
     """
-    values = np.asarray(values, dtype=np.float64)
+    return ops.segment_max(values, segment_ids, n_segments, empty_value=0.0)
+
+
+def segment_softmax(
+    x: Tensor, segment_ids: np.ndarray, n_segments: int
+) -> Tensor:
+    """Softmax of edge scores within every segment (GAT attention weights).
+
+    Forward: max-shifted exponentials normalised per segment (the shift is
+    constant almost everywhere, so it carries no gradient). Backward uses
+    the closed form ``d/dv = alpha * (g - sum_seg(alpha * g))``, itself one
+    multiply, one segment reduction and one gather on the backend.
+    """
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    out = np.full(n_segments, -np.inf, dtype=np.float64)
-    np.maximum.at(out, segment_ids, values)
-    out[np.isneginf(out)] = 0.0
-    return out
+    alpha = ops.segment_softmax(x.data, segment_ids, n_segments)
+
+    def backward(grad):
+        if not x.requires_grad:
+            return
+        weighted = alpha * np.asarray(grad)
+        totals = ops.segment_sum(weighted, segment_ids, n_segments)
+        x._accumulate(weighted - alpha * ops.gather_scale(totals, segment_ids))
+
+    return Tensor._make(alpha, (x,), backward)
 
 
 def exp(x: Tensor) -> Tensor:
     """Elementwise exponential (input clipped for stability)."""
-    out = np.exp(np.clip(x.data, -60, 60))
+    out = np.exp(np.clip(x.data, -ops.EXP_CLIP, ops.EXP_CLIP))
 
     def backward(grad):
         if x.requires_grad:

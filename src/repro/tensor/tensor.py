@@ -227,10 +227,27 @@ class Tensor:
 
     def __getitem__(self, key) -> "Tensor":
         def backward(grad):
-            if self.requires_grad:
+            if not self.requires_grad:
+                return
+            if (
+                isinstance(key, np.ndarray)
+                and key.ndim == 1
+                and np.issubdtype(key.dtype, np.integer)
+                and self.data.shape[0] > 0
+            ):
+                # Row gather: scatter-add through the sparse-ops backend,
+                # an order of magnitude faster than np.add.at. The forward
+                # gather already bounds-checked, so negative indices just
+                # need the usual wrap-around before becoming segment ids.
+                from ..sparse import ops
+
+                n = self.data.shape[0]
+                ids = np.where(key < 0, key + n, key)
+                full = ops.segment_sum(np.asarray(grad), ids, n)
+            else:
                 full = np.zeros_like(self.data)
                 np.add.at(full, key, grad)
-                self._accumulate(full)
+            self._accumulate(full)
 
         return Tensor._make(self.data[key], (self,), backward)
 

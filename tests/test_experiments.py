@@ -153,6 +153,7 @@ class TestFig9:
         assert "Reddit" in fig9_system.report(result)
 
 
+@pytest.mark.slow
 class TestTable2:
     @pytest.fixture(scope="class")
     def study(self):

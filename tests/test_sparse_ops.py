@@ -1,0 +1,397 @@
+"""Backend-equivalence fuzz tests for the pluggable sparse-ops layer.
+
+The ``reference`` backend (naive sequential loops) is the oracle; every
+other registered backend must reproduce it on randomized inputs spanning
+the shapes the training hot path produces: varying sizes, densities,
+empty rows/segments, unsorted segment ids, and the full k range.
+
+Tolerance: the backends are designed to accumulate in identical order, so
+most checks are exact; where an operation reassociates (softmax division),
+1e-10 is enforced per the backend contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cbsr import CBSRMatrix
+from repro.core.maxk import maxk_forward
+from repro.gpusim.kernels.spgemm import spgemm_execute
+from repro.gpusim.kernels.sspmm import sspmm_execute
+from repro.sparse import CSRMatrix, coo_to_csr, ops
+
+OTHER_BACKENDS = [n for n in ops.available_backends() if n != "reference"]
+SEEDS = [0, 1, 2, 3, 4]
+
+
+def random_csr(rng, n_rows=None, n_cols=None):
+    """Random CSR matrix with duplicate edges and (often) empty rows."""
+    n_rows = n_rows or int(rng.integers(1, 40))
+    n_cols = n_cols or int(rng.integers(1, 40))
+    nnz = int(rng.integers(0, 4 * n_rows + 1))
+    rows = rng.integers(0, n_rows, nnz)
+    cols = rng.integers(0, n_cols, nnz)
+    data = rng.normal(size=nnz)
+    return coo_to_csr(rows, cols, data, (n_rows, n_cols))
+
+
+def random_segments(rng, sorted_ids=False):
+    """(values, ids, n_segments) with empty segments and optional sorting."""
+    n = int(rng.integers(0, 60))
+    n_segments = int(rng.integers(1, 20))
+    ids = rng.integers(0, n_segments, n)
+    if sorted_ids:
+        ids = np.sort(ids)
+    trailing = () if rng.random() < 0.5 else (int(rng.integers(1, 8)),)
+    values = rng.normal(size=(n,) + trailing)
+    return values, ids, n_segments
+
+
+@pytest.fixture(params=OTHER_BACKENDS)
+def backend(request):
+    return request.param
+
+
+class TestSegmentPrimitiveEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("sorted_ids", [False, True])
+    def test_segment_sum(self, backend, seed, sorted_ids):
+        rng = np.random.default_rng(seed)
+        values, ids, n_segments = random_segments(rng, sorted_ids)
+        with ops.use_backend("reference"):
+            expected = ops.segment_sum(values, ids, n_segments)
+        with ops.use_backend(backend):
+            actual = ops.segment_sum(values, ids, n_segments)
+        np.testing.assert_allclose(actual, expected, rtol=1e-10, atol=1e-12)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("sorted_ids", [False, True])
+    def test_segment_max(self, backend, seed, sorted_ids):
+        rng = np.random.default_rng(100 + seed)
+        values, ids, n_segments = random_segments(rng, sorted_ids)
+        with ops.use_backend("reference"):
+            expected = ops.segment_max(values, ids, n_segments, empty_value=-7.0)
+        with ops.use_backend(backend):
+            actual = ops.segment_max(values, ids, n_segments, empty_value=-7.0)
+        np.testing.assert_array_equal(actual, expected)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("sorted_ids", [False, True])
+    def test_segment_softmax(self, backend, seed, sorted_ids):
+        rng = np.random.default_rng(200 + seed)
+        n = int(rng.integers(0, 60))
+        n_segments = int(rng.integers(1, 15))
+        ids = rng.integers(0, n_segments, n)
+        if sorted_ids:
+            ids = np.sort(ids)
+        scores = rng.normal(size=n) * 10
+        with ops.use_backend("reference"):
+            expected = ops.segment_softmax(scores, ids, n_segments)
+        with ops.use_backend(backend):
+            actual = ops.segment_softmax(scores, ids, n_segments)
+        np.testing.assert_allclose(actual, expected, rtol=1e-10, atol=1e-12)
+        # Probabilities: nonnegative, each nonempty segment sums to ~1.
+        assert (actual >= 0).all()
+        if n:
+            sums = ops.segment_sum(actual, ids, n_segments)
+            occupied = np.bincount(ids, minlength=n_segments) > 0
+            np.testing.assert_allclose(sums[occupied], 1.0, rtol=1e-9)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_gather_scale(self, backend, seed):
+        rng = np.random.default_rng(300 + seed)
+        table = rng.normal(size=(int(rng.integers(1, 30)), int(rng.integers(1, 6))))
+        indices = rng.integers(0, table.shape[0], int(rng.integers(0, 50)))
+        scale = rng.normal(size=len(indices))
+        with ops.use_backend("reference"):
+            expected_plain = ops.gather_scale(table, indices)
+            expected_scaled = ops.gather_scale(table, indices, scale)
+        with ops.use_backend(backend):
+            np.testing.assert_array_equal(
+                ops.gather_scale(table, indices), expected_plain
+            )
+            np.testing.assert_allclose(
+                ops.gather_scale(table, indices, scale),
+                expected_scaled,
+                rtol=1e-10,
+                atol=0,
+            )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_spmm_csr(self, backend, seed):
+        rng = np.random.default_rng(400 + seed)
+        matrix = random_csr(rng)
+        x = rng.normal(size=(matrix.n_cols, int(rng.integers(1, 10))))
+        with ops.use_backend("reference"):
+            expected = matrix.matmul_dense(x)
+        with ops.use_backend(backend):
+            actual = matrix.matmul_dense(x)
+        np.testing.assert_allclose(actual, expected, rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(
+            actual, matrix.to_dense() @ x, rtol=1e-9, atol=1e-11
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_spmm_csr_vector(self, backend, seed):
+        rng = np.random.default_rng(500 + seed)
+        matrix = random_csr(rng)
+        x = rng.normal(size=matrix.n_cols)
+        with ops.use_backend("reference"):
+            expected = matrix.matmul_dense(x)
+        with ops.use_backend(backend):
+            actual = matrix.matmul_dense(x)
+        assert actual.shape == (matrix.n_rows,)
+        np.testing.assert_allclose(actual, expected, rtol=1e-10, atol=1e-12)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_topk_mask(self, backend, seed):
+        rng = np.random.default_rng(600 + seed)
+        n_rows, dim = int(rng.integers(1, 20)), int(rng.integers(1, 24))
+        # Quantised values force exact ties; both backends must resolve
+        # them toward the lower column index.
+        x = np.round(rng.normal(size=(n_rows, dim)) * 2) / 2
+        for k in {1, dim, int(rng.integers(1, dim + 1))}:
+            with ops.use_backend("reference"):
+                expected = ops.topk_mask(x, k)
+            with ops.use_backend(backend):
+                actual = ops.topk_mask(x, k)
+            np.testing.assert_array_equal(actual, expected)
+            assert (actual.sum(axis=1) == k).all()
+
+    def test_topk_nan_rows_stay_exactly_k(self, backend):
+        """Regression: NaNs sort as largest; selection stays exactly-k and
+        backend-identical instead of under-filling or crashing."""
+        x = np.array([[1.0, np.nan, 3.0, 2.0], [np.nan] * 4])
+        with ops.use_backend("reference"):
+            expected_mask = ops.topk_mask(x, 2)
+            expected_cols = ops.topk_columns(x, 2)
+        with ops.use_backend(backend):
+            mask = ops.topk_mask(x, 2)
+            cols = ops.topk_columns(x, 2)
+        assert (mask.sum(axis=1) == 2).all()
+        np.testing.assert_array_equal(mask, expected_mask)
+        np.testing.assert_array_equal(cols, expected_cols)
+        np.testing.assert_array_equal(mask[0], [False, True, True, False])
+
+    def test_topk_ties_at_large_magnitude(self, backend):
+        """Exact ties among huge values must still resolve to lower columns.
+
+        Regression: an epsilon-bias tie-break is absorbed by float64
+        rounding above ~1e6, silently de-synchronising the backends.
+        """
+        x = np.full((2, 8), 1e8)
+        x[1] *= -1
+        with ops.use_backend(backend):
+            np.testing.assert_array_equal(
+                np.where(ops.topk_mask(x, 3)[0])[0], [0, 1, 2]
+            )
+            np.testing.assert_array_equal(
+                ops.topk_columns(x, 3), [[0, 1, 2], [0, 1, 2]]
+            )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_topk_columns(self, backend, seed):
+        rng = np.random.default_rng(700 + seed)
+        n_rows, dim = int(rng.integers(1, 20)), int(rng.integers(1, 24))
+        x = np.round(rng.normal(size=(n_rows, dim)) * 2) / 2
+        for k in {1, dim, int(rng.integers(1, dim + 1))}:
+            with ops.use_backend("reference"):
+                expected = ops.topk_columns(x, k)
+            with ops.use_backend(backend):
+                actual = ops.topk_columns(x, k)
+            np.testing.assert_array_equal(actual, expected)
+
+
+class TestKernelEquivalence:
+    """End-to-end numeric kernels agree across backends on CBSR inputs."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_maxk_and_cbsr_roundtrip(self, backend, seed):
+        rng = np.random.default_rng(800 + seed)
+        n_rows, dim = int(rng.integers(1, 30)), int(rng.integers(2, 32))
+        k = int(rng.integers(1, dim + 1))
+        x = rng.normal(size=(n_rows, dim))
+        with ops.use_backend("reference"):
+            expected_out, expected_mask = maxk_forward(x, k)
+            expected_cbsr = CBSRMatrix.from_dense_rows(expected_out, k)
+        with ops.use_backend(backend):
+            out, mask = maxk_forward(x, k)
+            cbsr = CBSRMatrix.from_dense_rows(out, k)
+        np.testing.assert_array_equal(mask, expected_mask)
+        np.testing.assert_array_equal(out, expected_out)
+        np.testing.assert_array_equal(cbsr.sp_index, expected_cbsr.sp_index)
+        np.testing.assert_array_equal(cbsr.sp_data, expected_cbsr.sp_data)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_spgemm_sspmm_execute(self, backend, seed):
+        rng = np.random.default_rng(900 + seed)
+        n_out = int(rng.integers(1, 25))
+        n_src = int(rng.integers(1, 25))
+        dim = int(rng.integers(2, 24))
+        k = int(rng.integers(1, dim + 1))
+        adj = random_csr(rng, n_rows=n_out, n_cols=n_src)
+        features = CBSRMatrix.from_dense_rows(
+            maxk_forward(rng.normal(size=(n_src, dim)), k)[0], k
+        )
+        grad_out = rng.normal(size=(n_out, dim))
+        with ops.use_backend("reference"):
+            expected_fwd = spgemm_execute(adj, features)
+            expected_bwd = sspmm_execute(adj, grad_out, features)
+        with ops.use_backend(backend):
+            actual_fwd = spgemm_execute(adj, features)
+            actual_bwd = sspmm_execute(adj, grad_out, features)
+        np.testing.assert_allclose(actual_fwd, expected_fwd, rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(
+            actual_bwd.sp_data, expected_bwd.sp_data, rtol=1e-10, atol=1e-12
+        )
+
+
+class TestRegistry:
+    def test_reference_and_vectorized_always_available(self):
+        names = ops.available_backends()
+        assert "reference" in names and "vectorized" in names
+
+    def test_set_backend_returns_previous(self):
+        current = ops.get_backend()
+        previous = ops.set_backend("reference")
+        try:
+            assert previous is current
+            assert ops.get_backend().name == "reference"
+        finally:
+            ops.set_backend(current.name)
+
+    def test_set_backend_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown sparse backend"):
+            ops.set_backend("cuda")
+
+    def test_use_backend_restores_on_exit(self):
+        before = ops.get_backend().name
+        with ops.use_backend("reference") as active:
+            assert active.name == "reference"
+        assert ops.get_backend().name == before
+
+    def test_use_backend_restores_on_error(self):
+        before = ops.get_backend().name
+        with pytest.raises(RuntimeError):
+            with ops.use_backend("reference"):
+                raise RuntimeError("boom")
+        assert ops.get_backend().name == before
+
+    def test_register_backend_rejects_abstract(self):
+        with pytest.raises(ValueError):
+            ops.register_backend(ops.SparseOpsBackend())
+
+    def test_validation_shared_across_backends(self):
+        with pytest.raises(ValueError):
+            ops.segment_sum(np.ones((3, 2)), np.array([0, 1]), 2)
+        with pytest.raises(ValueError):
+            ops.segment_sum(np.ones(2), np.array([0, 3]), 2)
+        with pytest.raises(ValueError):
+            ops.gather_scale(np.ones((2, 2)), np.array([2]))
+        with pytest.raises(ValueError):
+            ops.topk_mask(np.ones((2, 4)), 5)
+        with pytest.raises(ValueError):
+            ops.segment_softmax(np.ones((2, 2)), np.array([0, 1]), 2)
+
+
+class TestTensorGatherBackward:
+    @pytest.mark.parametrize("seed", SEEDS[:2])
+    def test_negative_indices_backward(self, backend, seed):
+        """Regression: the segment-sum fast path must wrap negative rows
+        like np.add.at did."""
+        from repro.tensor import Tensor
+
+        rng = np.random.default_rng(1200 + seed)
+        data = rng.normal(size=(5, 3))
+        key = np.array([-1, 0, 2, -5, -1])
+        with ops.use_backend(backend):
+            tensor = Tensor(data.copy(), requires_grad=True)
+            tensor[key].sum().backward()
+        expected = np.zeros_like(data)
+        np.add.at(expected, key, 1.0)
+        np.testing.assert_array_equal(tensor.grad, expected)
+
+    def test_zero_row_tensor_backward(self, backend):
+        """Regression: an empty gather on a 0-row tensor must stay a no-op."""
+        from repro.tensor import Tensor
+
+        with ops.use_backend(backend):
+            tensor = Tensor(np.zeros((0, 3)), requires_grad=True)
+            picked = tensor[np.array([], dtype=np.int64)]
+            (picked.sum() + 1.0).backward()
+        np.testing.assert_array_equal(tensor.grad, np.zeros((0, 3)))
+
+    def test_scipy_sspmm_large_guard(self):
+        """The dense-intermediate route must defer to the k-sampled path
+        above the memory limit, with identical results."""
+        if "scipy" not in ops.available_backends():
+            pytest.skip("scipy not installed")
+        backend = ops._REGISTRY["scipy"]
+        rng = np.random.default_rng(7)
+        matrix = random_csr(rng, n_rows=6, n_cols=8)
+        grad_out = rng.normal(size=(6, 4))
+        sp_index = np.sort(
+            np.argsort(rng.random((8, 4)), axis=1)[:, :2], axis=1
+        ).astype(np.int64)
+        args = (matrix.indptr, matrix.indices, matrix.data, grad_out, sp_index, 8)
+        dense_route = backend.sspmm_cbsr(*args)
+        original = backend._SSPMM_DENSE_LIMIT
+        try:
+            backend._SSPMM_DENSE_LIMIT = 0  # force the fallback
+            sampled_route = backend.sspmm_cbsr(*args)
+        finally:
+            backend._SSPMM_DENSE_LIMIT = original
+        np.testing.assert_allclose(sampled_route, dense_route, rtol=1e-10, atol=1e-12)
+
+
+class TestAutogradSegmentOpsAcrossBackends:
+    """The Tensor-level segment ops agree with the oracle backend."""
+
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_segment_sum_forward_backward(self, backend, seed):
+        from repro.tensor import Tensor
+        from repro.tensor.segment import segment_sum
+
+        rng = np.random.default_rng(1000 + seed)
+        n, n_segments, dim = 30, 7, 4
+        ids = rng.integers(0, n_segments, n)
+        x = rng.normal(size=(n, dim))
+        weights = rng.normal(size=(n_segments, dim))
+
+        results = {}
+        for name in ("reference", backend):
+            with ops.use_backend(name):
+                tensor = Tensor(x.copy(), requires_grad=True)
+                out = segment_sum(tensor, ids, n_segments)
+                (out * Tensor(weights)).sum().backward()
+                results[name] = (out.numpy(), tensor.grad)
+        np.testing.assert_allclose(
+            results[backend][0], results["reference"][0], rtol=1e-10, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            results[backend][1], results["reference"][1], rtol=1e-10, atol=1e-12
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_segment_softmax_forward_backward(self, backend, seed):
+        from repro.tensor import Tensor
+        from repro.tensor.segment import segment_softmax
+
+        rng = np.random.default_rng(1100 + seed)
+        n, n_segments = 40, 9
+        ids = rng.integers(0, n_segments, n)
+        scores = rng.normal(size=n) * 5
+        weights = rng.normal(size=n)
+
+        results = {}
+        for name in ("reference", backend):
+            with ops.use_backend(name):
+                tensor = Tensor(scores.copy(), requires_grad=True)
+                alpha = segment_softmax(tensor, ids, n_segments)
+                (alpha * Tensor(weights)).sum().backward()
+                results[name] = (alpha.numpy(), tensor.grad)
+        np.testing.assert_allclose(
+            results[backend][0], results["reference"][0], rtol=1e-10, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            results[backend][1], results["reference"][1], rtol=1e-10, atol=1e-12
+        )
