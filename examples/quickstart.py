@@ -10,25 +10,24 @@ Run:  python examples/quickstart.py
 from repro.experiments.common import epoch_model_for, scaled_k
 from repro.graphs import TRAINING_CONFIGS, load_training_dataset
 from repro.models import GNNConfig, MaxKGNN
-from repro.training import Trainer
+from repro.training import Engine, FullGraphFlow
 
 
 def train_variant(graph, cfg, nonlinearity, k=None, seed=0):
-    out_features = (
-        graph.labels.shape[1] if graph.multilabel else int(graph.labels.max()) + 1
-    )
     config = GNNConfig(
         model_type="sage",
         in_features=cfg.n_features,
         hidden=cfg.hidden,
-        out_features=out_features,
+        out_features=graph.label_dim(),
         n_layers=cfg.layers,
         nonlinearity=nonlinearity,
         k=k,
         dropout=cfg.dropout,
     )
-    trainer = Trainer(MaxKGNN(graph, config, seed=seed), graph, lr=cfg.lr)
-    return trainer.fit(cfg.epochs, eval_every=20)
+    engine = Engine(
+        MaxKGNN(graph, config, seed=seed), graph, FullGraphFlow(), lr=cfg.lr
+    )
+    return engine.fit(cfg.epochs, eval_every=20)
 
 
 def main():

@@ -78,9 +78,7 @@ def _train_quality(
 ) -> Tuple[float, str]:
     cfg = TRAINING_CONFIGS[dataset]
     graph = load_training_dataset(dataset, seed=seed)
-    out_features = (
-        graph.labels.shape[1] if graph.multilabel else int(graph.labels.max()) + 1
-    )
+    out_features = graph.label_dim()
     config = GNNConfig(
         model_type=model_type,
         in_features=cfg.n_features,

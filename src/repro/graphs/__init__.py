@@ -33,6 +33,7 @@ from .reorder import (
     locality_score,
 )
 from .sampling import (
+    as_generator,
     edge_sampler,
     khop_neighborhood,
     node_sampler,
@@ -68,6 +69,7 @@ __all__ = [
     "community_sort_reorder",
     "locality_score",
     "REORDERINGS",
+    "as_generator",
     "node_sampler",
     "edge_sampler",
     "random_walk_sampler",

@@ -65,6 +65,14 @@ class Graph:
     def avg_degree(self) -> float:
         return self.n_edges / self.n_nodes if self.n_nodes else 0.0
 
+    def label_dim(self) -> int:
+        """Classifier output dimension: classes, or multi-hot label columns."""
+        if self.labels is None:
+            raise ValueError("graph has no labels")
+        if self.multilabel:
+            return int(self.labels.shape[1])
+        return int(self.labels.max()) + 1
+
     def in_degrees(self) -> np.ndarray:
         return np.bincount(self.dst, minlength=self.n_nodes).astype(np.int64)
 
@@ -94,6 +102,18 @@ class Graph:
         key = "none" if norm == "gin" else norm
         if key not in self._adj_cache:
             self._adj_cache[key] = normalized_adjacency(self, key)
+        return self._adj_cache[key]
+
+    def adjacency_transpose(self, norm: str = "none") -> CSRMatrix:
+        """Transpose of :meth:`adjacency`, cached alongside it.
+
+        The backward pass of every aggregation needs ``A^T``; caching it on
+        the graph lets the training engine rebind one model across many
+        subgraph batches without recomputing the transpose per step.
+        """
+        key = ("none" if norm == "gin" else norm) + "^T"
+        if key not in self._adj_cache:
+            self._adj_cache[key] = self.adjacency(norm).transpose()
         return self._adj_cache[key]
 
     def to_undirected(self) -> "Graph":

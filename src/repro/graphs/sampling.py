@@ -14,7 +14,7 @@ subgraphs such trainers consume; MaxK layers run on them unchanged.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Union
 
 import numpy as np
 
@@ -22,29 +22,45 @@ from .graph import Graph
 from .partition import induced_subgraph
 
 __all__ = [
+    "as_generator",
     "node_sampler",
     "edge_sampler",
     "random_walk_sampler",
     "khop_neighborhood",
 ]
 
+#: Seed-or-generator type accepted by every sampler below.
+SeedLike = Union[int, np.random.Generator]
 
-def node_sampler(graph: Graph, n_nodes: int, seed: int = 0) -> Graph:
+
+def as_generator(seed: SeedLike) -> np.random.Generator:
+    """Coerce an int seed to a fresh generator; pass generators through.
+
+    Passing a :class:`np.random.Generator` lets callers (the training
+    engine's data flows) stream many batches from one random state instead
+    of reseeding per call.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def node_sampler(graph: Graph, n_nodes: int, seed: SeedLike = 0) -> Graph:
     """Uniform random-node induced subgraph (GraphSAINT-Node)."""
     if not 1 <= n_nodes <= graph.n_nodes:
         raise ValueError("n_nodes must be in [1, graph.n_nodes]")
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     nodes = rng.choice(graph.n_nodes, size=n_nodes, replace=False)
     return induced_subgraph(graph, nodes)
 
 
-def edge_sampler(graph: Graph, n_edges: int, seed: int = 0) -> Graph:
+def edge_sampler(graph: Graph, n_edges: int, seed: SeedLike = 0) -> Graph:
     """Random-edge sampler (GraphSAINT-Edge): endpoints of sampled edges."""
     if graph.n_edges == 0:
         raise ValueError("graph has no edges to sample")
     if n_edges < 1:
         raise ValueError("n_edges must be positive")
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     picked = rng.choice(graph.n_edges, size=min(n_edges, graph.n_edges),
                         replace=False)
     nodes = np.unique(
@@ -61,12 +77,12 @@ def _out_neighbours(graph: Graph) -> Dict[int, List[int]]:
 
 
 def random_walk_sampler(
-    graph: Graph, n_roots: int, walk_length: int, seed: int = 0
+    graph: Graph, n_roots: int, walk_length: int, seed: SeedLike = 0
 ) -> Graph:
     """Random-walk sampler (GraphSAINT-RW): union of all walk nodes."""
     if n_roots < 1 or walk_length < 1:
         raise ValueError("n_roots and walk_length must be positive")
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     neighbours = _out_neighbours(graph)
     visited = set()
     roots = rng.choice(graph.n_nodes, size=min(n_roots, graph.n_nodes),
@@ -88,7 +104,7 @@ def khop_neighborhood(
     seeds: np.ndarray,
     n_hops: int,
     fanout: int,
-    rng_seed: int = 0,
+    rng_seed: SeedLike = 0,
 ) -> Graph:
     """Fan-out-limited k-hop neighbourhood (GraphSAGE mini-batching).
 
@@ -100,7 +116,7 @@ def khop_neighborhood(
     seeds = np.unique(np.asarray(seeds, dtype=np.int64))
     if seeds.size and (seeds.min() < 0 or seeds.max() >= graph.n_nodes):
         raise ValueError("seed ids out of range")
-    rng = np.random.default_rng(rng_seed)
+    rng = as_generator(rng_seed)
 
     in_neighbours: Dict[int, List[int]] = {}
     for s, d in zip(graph.src, graph.dst):

@@ -74,6 +74,18 @@ class MaxKGNN(Module):
             setattr(self, f"conv{layer}", conv)
         self.classifier = Linear(config.hidden, config.out_features, rng)
 
+    def bind_graph(self, graph: Graph) -> None:
+        """Rebind every convolution to ``graph`` (features/splits included).
+
+        Supports subgraph mini-batching: the engine trains one parameter
+        set across many sampled graphs by swapping the adjacency each
+        convolution aggregates over. Parameters and optimizer state are
+        untouched.
+        """
+        self.graph = graph
+        for conv in self.convs:
+            conv.bind_graph(graph)
+
     def forward(self, x) -> Tensor:
         if not isinstance(x, Tensor):
             x = Tensor(x)

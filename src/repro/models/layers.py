@@ -49,12 +49,20 @@ class GraphConvLayer(Module):
                 raise ValueError(f"k must be in [1, {out_features}]")
         if use_cbsr_kernels and nonlinearity != "maxk":
             raise ValueError("the CBSR kernel path requires the MaxK nonlinearity")
-        self.adj = graph.adjacency(self.norm)
-        self.adj_t = self.adj.transpose()
         self.nonlinearity = nonlinearity
         self.k = k
         self.use_cbsr_kernels = use_cbsr_kernels
+        self.bind_graph(graph)
         self.linear = Linear(in_features, out_features, rng)
+
+    def bind_graph(self, graph: Graph) -> None:
+        """Point this layer's aggregation at ``graph``'s adjacency.
+
+        Parameters are untouched, so the training engine can move one model
+        (and its optimizer state) across subgraph batches by rebinding.
+        """
+        self.adj = graph.adjacency(self.norm)
+        self.adj_t = graph.adjacency_transpose(self.norm)
 
     def _activate(self, y: Tensor) -> Tensor:
         if self.nonlinearity == "relu":

@@ -152,6 +152,19 @@ class SparseOpsBackend:
     def topk_columns(self, x: np.ndarray, k: int) -> np.ndarray:
         raise NotImplementedError
 
+    # -- cache hooks ---------------------------------------------------
+    # Backends may pin per-graph buffers (the scipy backend keys CSR
+    # wrappers by buffer identity). Sweeps over many graphs — notably the
+    # training engine's subgraph flows — call these on eviction so pinned
+    # memory tracks the working set instead of growing without bound.
+
+    def clear_cache(self) -> None:
+        """Release any per-graph caches; no-op for stateless backends."""
+
+    def cache_info(self) -> Dict[str, int]:
+        """Size of any per-graph caches (empty for stateless backends)."""
+        return {}
+
 
 class ReferenceBackend(SparseOpsBackend):
     """Per-row Python loops with sequential accumulation: the oracle."""
@@ -378,6 +391,9 @@ class ScipyBackend(VectorizedBackend):
     def clear_cache(self) -> None:
         """Release every cached scipy matrix (and the pinned CSR buffers)."""
         self._csr_cache.clear()
+
+    def cache_info(self) -> Dict[str, int]:
+        return {"csr_entries": len(self._csr_cache)}
 
     def _matrix(self, indptr, indices, data, shape):
         key = (id(indptr), id(indices), id(data))

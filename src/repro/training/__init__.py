@@ -1,4 +1,4 @@
-"""Training system: trainer, metrics, and the epoch latency model."""
+"""Training system: execution engine, data flows, metrics, latency model."""
 
 from .checkpoint import (
     load_checkpoint,
@@ -6,6 +6,15 @@ from .checkpoint import (
     save_checkpoint,
     state_dict,
 )
+from .dataflow import (
+    DataFlow,
+    FullGraphFlow,
+    PartitionedFlow,
+    SampledFlow,
+    SubgraphCache,
+    make_flow,
+)
+from .engine import Engine
 from .metrics import accuracy, micro_f1, roc_auc
 from .partitioned import (
     PartitionedTrainer,
@@ -22,6 +31,13 @@ __all__ = [
     "accuracy",
     "micro_f1",
     "roc_auc",
+    "Engine",
+    "DataFlow",
+    "FullGraphFlow",
+    "SampledFlow",
+    "PartitionedFlow",
+    "SubgraphCache",
+    "make_flow",
     "Trainer",
     "TrainResult",
     "EpochBreakdown",

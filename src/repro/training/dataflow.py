@@ -1,0 +1,300 @@
+"""Pluggable data-flow strategies for the training engine.
+
+The paper (§1) positions the MaxK constructs as orthogonal to how training
+batches are formed — full-graph, sampled mini-batch (GraphSAINT [33] /
+GraphSAGE [28]) or partition-parallel (BNS-GCN [27]). This module makes
+that claim executable: each strategy below turns a graph into a per-epoch
+stream of training subgraphs, and :class:`~repro.training.engine.Engine`
+runs the identical optimisation loop over whichever stream it is handed
+(the same DataLoader-over-samplers layering DGL uses).
+
+* :class:`FullGraphFlow` — one full-batch step per epoch;
+* :class:`SampledFlow` — subgraph mini-batches from any of the
+  :mod:`repro.graphs.sampling` samplers, with a deterministic per-slot
+  batch schedule, streamed generators, and an LRU subgraph pool whose
+  evictions release backend CSR caches;
+* :class:`PartitionedFlow` — BNS-GCN partitions with freshly sampled
+  boundary halos every epoch.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Iterator, Optional, Union
+
+import numpy as np
+
+from ..graphs import (
+    Graph,
+    Partition,
+    bfs_partition,
+    bns_sample,
+    edge_sampler,
+    khop_neighborhood,
+    node_sampler,
+    random_walk_sampler,
+)
+from ..sparse.ops import get_backend
+
+__all__ = [
+    "DataFlow",
+    "FullGraphFlow",
+    "SampledFlow",
+    "PartitionedFlow",
+    "SubgraphCache",
+    "make_flow",
+]
+
+
+class SubgraphCache:
+    """Bounded LRU of sampled subgraphs keyed by schedule slot.
+
+    A cached subgraph keeps its CSR adjacency (and transpose) warm across
+    epochs, so re-visiting a pool slot skips both the sampler and the
+    adjacency build. Every eviction calls ``get_backend().clear_cache()``:
+    the scipy backend pins CSR buffers per graph, and dropping them with
+    the evicted subgraph keeps pinned memory proportional to the pool,
+    not to the number of batches ever sampled.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, Graph]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: int) -> Optional[Graph]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: int, subgraph: Graph) -> None:
+        self._entries[key] = subgraph
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            get_backend().clear_cache()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class DataFlow:
+    """One data-flow strategy: a per-epoch stream of training subgraphs."""
+
+    name = "abstract"
+
+    def batches(self, graph: Graph, epoch: int) -> Iterator[Graph]:
+        """Yield the training subgraphs of one epoch (possibly ``graph``)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class FullGraphFlow(DataFlow):
+    """The paper's main setting: one full-batch gradient step per epoch."""
+
+    name = "full"
+
+    def batches(self, graph: Graph, epoch: int) -> Iterator[Graph]:
+        yield graph
+
+
+#: Named samplers a :class:`SampledFlow` can schedule.
+SAMPLER_NAMES = ("node", "edge", "walk", "khop")
+
+
+class SampledFlow(DataFlow):
+    """Sampled mini-batch flow (the GraphSAINT / GraphSAGE regimes).
+
+    ``sampler`` names one of :data:`SAMPLER_NAMES` or is any callable with
+    the ``sampler(graph, size, seed=rng)`` shape. Every batch occupies one
+    deterministic schedule *slot*; with ``pool_size`` set, slots repeat
+    every ``pool_size`` batches (GraphSAINT's precomputed subgraph pool)
+    and the LRU cache serves repeats with their CSR adjacencies warm.
+    Slot randomness derives from ``(seed, slot)``, so a batch's content is
+    independent of visiting order and cache state, and each sampler call
+    receives the streaming :class:`np.random.Generator` rather than a
+    reseeding integer.
+    """
+
+    name = "sampled"
+
+    def __init__(
+        self,
+        sampler: Union[str, Callable[..., Graph]] = "node",
+        batches_per_epoch: int = 1,
+        sample_size: Optional[int] = None,
+        walk_length: int = 8,
+        n_hops: int = 2,
+        fanout: int = 8,
+        seed: int = 0,
+        pool_size: Optional[int] = None,
+        cache_size: Optional[int] = None,
+    ):
+        if isinstance(sampler, str) and sampler not in SAMPLER_NAMES:
+            raise ValueError(
+                f"unknown sampler {sampler!r}; options: {list(SAMPLER_NAMES)}"
+            )
+        if not isinstance(sampler, str) and not callable(sampler):
+            raise ValueError("sampler must be a name or a callable")
+        if batches_per_epoch < 1:
+            raise ValueError("batches_per_epoch must be >= 1")
+        if sample_size is not None and sample_size < 1:
+            raise ValueError("sample_size must be positive")
+        if pool_size is not None and pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        if cache_size is not None and cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        self.sampler = sampler
+        self.batches_per_epoch = batches_per_epoch
+        self.sample_size = sample_size
+        self.walk_length = walk_length
+        self.n_hops = n_hops
+        self.fanout = fanout
+        self.seed = seed
+        self.pool_size = pool_size
+        # Default the cache to span the whole pool: a pool cycling through
+        # more slots than the LRU holds never hits and evicts (clearing the
+        # backend's CSR cache) on every batch. An explicit cache_size is
+        # honoured — a caller bounding memory accepts the resampling cost.
+        if cache_size is None:
+            cache_size = pool_size if pool_size is not None else 8
+        self.cache = SubgraphCache(cache_size)
+        # Held strongly, like PartitionedFlow's partition: slots are only
+        # meaningful for the graph they were sampled from.
+        self._cache_graph: Optional[Graph] = None
+
+    def describe(self) -> str:
+        label = self.sampler if isinstance(self.sampler, str) else "custom"
+        return f"sampled/{label}x{self.batches_per_epoch}"
+
+    # ------------------------------------------------------------------
+    def _size(self, graph: Graph) -> int:
+        if self.sample_size is not None:
+            return min(self.sample_size, graph.n_nodes)
+        return max(1, graph.n_nodes // max(2 * self.batches_per_epoch, 2))
+
+    def _sample(self, graph: Graph, slot: int) -> Graph:
+        rng = np.random.default_rng((self.seed, slot))
+        size = self._size(graph)
+        if callable(self.sampler):
+            # Custom callables keep the historical int-seed contract (the
+            # named samplers below opt in to streamed generators).
+            return self.sampler(graph, size, seed=int(rng.integers(1 << 31)))
+        if self.sampler == "node":
+            return node_sampler(graph, size, seed=rng)
+        if self.sampler == "edge":
+            # sample_size counts edges on this path; the default splits the
+            # edge set across the epoch's batches like _size does for nodes.
+            n_edges = self.sample_size or max(
+                1, graph.n_edges // max(2 * self.batches_per_epoch, 2)
+            )
+            return edge_sampler(graph, n_edges, seed=rng)
+        if self.sampler == "walk":
+            return random_walk_sampler(
+                graph, n_roots=size, walk_length=self.walk_length, seed=rng
+            )
+        # "khop": GraphSAGE-style — seed on labelled training nodes.
+        train_mask = graph.train_mask
+        candidates = (
+            np.where(train_mask)[0] if train_mask is not None
+            else np.arange(graph.n_nodes)
+        )
+        seeds = rng.choice(
+            candidates, size=min(size, candidates.size), replace=False
+        )
+        return khop_neighborhood(
+            graph, seeds, n_hops=self.n_hops, fanout=self.fanout, rng_seed=rng
+        )
+
+    def batches(self, graph: Graph, epoch: int) -> Iterator[Graph]:
+        if self._cache_graph is not graph:
+            self.cache = SubgraphCache(self.cache.capacity)
+            self._cache_graph = graph
+        for index in range(self.batches_per_epoch):
+            step = epoch * self.batches_per_epoch + index
+            if self.pool_size is None:
+                # Unpooled streams never revisit a slot — caching would
+                # only pin dead subgraphs and thrash the backend cache.
+                yield self._sample(graph, step)
+                continue
+            slot = step % self.pool_size
+            subgraph = self.cache.get(slot)
+            if subgraph is None:
+                subgraph = self._sample(graph, slot)
+                self.cache.put(slot, subgraph)
+            yield subgraph
+
+
+class PartitionedFlow(DataFlow):
+    """BNS-GCN flow: every epoch visits each partition with a fresh halo.
+
+    The partition is computed once per graph and reused; the sampled
+    boundary halo is re-drawn every (epoch, part) visit, matching the
+    original :class:`PartitionedTrainer` schedule.
+    """
+
+    name = "partitioned"
+
+    def __init__(self, n_parts: int, boundary_fraction: float = 0.2,
+                 seed: int = 0):
+        if n_parts < 1:
+            raise ValueError("n_parts must be >= 1")
+        if not 0.0 <= boundary_fraction <= 1.0:
+            raise ValueError("boundary_fraction must be in [0, 1]")
+        self.n_parts = n_parts
+        self.boundary_fraction = boundary_fraction
+        self.seed = seed
+        self._partition: Optional[Partition] = None
+        # Held strongly: keying by id() alone could hand a recycled
+        # address the previous graph's partition.
+        self._partition_graph: Optional[Graph] = None
+
+    def describe(self) -> str:
+        return f"partitioned/{self.n_parts}"
+
+    def partition_for(self, graph: Graph) -> Partition:
+        if self._partition is None or self._partition_graph is not graph:
+            self._partition = bfs_partition(graph, self.n_parts, seed=self.seed)
+            self._partition_graph = graph
+        return self._partition
+
+    def batches(self, graph: Graph, epoch: int) -> Iterator[Graph]:
+        partition = self.partition_for(graph)
+        for part in range(partition.n_parts):
+            yield bns_sample(
+                graph, partition, part,
+                boundary_fraction=self.boundary_fraction,
+                seed=self.seed + epoch * 131 + part,
+            )
+
+
+def make_flow(flow: str, **kwargs) -> DataFlow:
+    """Build a flow by CLI name: ``full`` / ``sampled`` / ``partitioned``."""
+    if flow == "full":
+        return FullGraphFlow()
+    if flow == "sampled":
+        return SampledFlow(**kwargs)
+    if flow == "partitioned":
+        return PartitionedFlow(**kwargs)
+    raise ValueError(
+        f"unknown flow {flow!r}; options: ['full', 'sampled', 'partitioned']"
+    )

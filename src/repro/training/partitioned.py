@@ -1,24 +1,27 @@
-"""Partition-parallel and sampled training on top of MaxK models.
+"""Partition-parallel and sampled training shims over the engine.
 
 Demonstrates §1's compatibility claim: the MaxK nonlinearity and its
 kernels are orthogonal to partition-parallel training (BNS-GCN [27]) and
-subgraph sampling (GraphSAINT [33]); both trainers below run unmodified
-MaxK models on the subgraphs those methods produce.
+subgraph sampling (GraphSAINT [33]). Both trainers below are thin
+compatibility wrappers around :class:`~repro.training.engine.Engine` with
+the matching :mod:`~repro.training.dataflow` strategy; unlike the original
+implementation (which rebuilt a worker model and a fresh Adam per
+subgraph), the engine rebinds one model across batches so parameters *and*
+optimizer moments persist for the whole run.
 
-Each subgraph carries its own adjacency, so per-round models are rebuilt on
-the sampled structure while **sharing parameters** through a simple state
-dict transfer — full-batch semantics stay available through
-:class:`~repro.training.trainer.Trainer`.
+:func:`copy_parameters` remains for callers that coordinate separate model
+replicas (e.g. parameter averaging across simulated workers).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List
+from typing import Callable, List, Union
 
-from ..graphs import Graph, bfs_partition, bns_sample, node_sampler
+from ..graphs import Graph, node_sampler
 from ..models import GNNConfig, MaxKGNN
-from .trainer import Trainer
+from .dataflow import PartitionedFlow, SampledFlow
+from .engine import Engine
 
 __all__ = [
     "copy_parameters",
@@ -51,11 +54,11 @@ class SubgraphTrainResult:
     subgraph_sizes: List[int] = field(default_factory=list)
 
 
-class _SubgraphTrainerBase:
-    """Shared machinery: a reference model + per-subgraph worker models."""
+class _SubgraphTrainerShim:
+    """Shared shim plumbing: one engine, rounds mapped onto epochs."""
 
-    def __init__(self, graph: Graph, config: GNNConfig, lr: float = 0.01,
-                 seed: int = 0):
+    def __init__(self, graph: Graph, config: GNNConfig, flow, lr: float,
+                 seed: int):
         if config.nonlinearity == "maxk" and config.k is None:
             raise ValueError("MaxK configs need k")
         self.graph = graph
@@ -64,81 +67,55 @@ class _SubgraphTrainerBase:
         self.seed = seed
         # The reference model owns the canonical parameters.
         self.reference = MaxKGNN(graph, config, seed=seed)
+        self.engine = Engine(self.reference, graph, flow, lr=lr)
 
-    def _train_on_subgraph(self, subgraph: Graph, epochs: int) -> float:
-        """One round: push params to a worker, train, pull params back."""
-        worker = MaxKGNN(subgraph, self.config, seed=self.seed)
-        copy_parameters(self.reference, worker)
-        trainer = Trainer(worker, subgraph, lr=self.lr)
-        loss = float("nan")
-        for _ in range(epochs):
-            loss = trainer.train_epoch()
-        copy_parameters(worker, self.reference)
-        return loss
+    def _fit(self, rounds: int, steps_per_batch: int) -> SubgraphTrainResult:
+        if rounds < 1:
+            raise ValueError("rounds must be positive")
+        result = self.engine.fit(
+            rounds, eval_every=rounds, steps_per_batch=steps_per_batch
+        )
+        return SubgraphTrainResult(
+            round_losses=result.batch_losses,
+            test_metric=result.final_test,
+            subgraph_sizes=result.batch_sizes,
+        )
 
     def evaluate_full_graph(self) -> float:
         """Test metric of the reference parameters on the full graph."""
-        trainer = Trainer(self.reference, self.graph, lr=self.lr)
-        return trainer.evaluate()["test"]
+        return self.engine.evaluate()["test"]
 
 
-class PartitionedTrainer(_SubgraphTrainerBase):
+class PartitionedTrainer(_SubgraphTrainerShim):
     """BNS-GCN-style trainer: partitions + sampled boundary halos."""
 
     def __init__(self, graph: Graph, config: GNNConfig, n_parts: int,
                  boundary_fraction: float = 0.2, lr: float = 0.01,
                  seed: int = 0):
-        super().__init__(graph, config, lr=lr, seed=seed)
-        if n_parts < 1:
-            raise ValueError("n_parts must be >= 1")
-        self.partition = bfs_partition(graph, n_parts, seed=seed)
+        flow = PartitionedFlow(
+            n_parts, boundary_fraction=boundary_fraction, seed=seed
+        )
+        super().__init__(graph, config, flow, lr=lr, seed=seed)
+        self.partition = flow.partition_for(graph)
         self.boundary_fraction = boundary_fraction
 
     def fit(self, rounds: int, epochs_per_part: int = 5) -> SubgraphTrainResult:
         """Cycle over partitions; each round trains every part's subgraph."""
-        if rounds < 1:
-            raise ValueError("rounds must be positive")
-        result = SubgraphTrainResult()
-        for round_id in range(rounds):
-            for part in range(self.partition.n_parts):
-                subgraph = bns_sample(
-                    self.graph, self.partition, part,
-                    boundary_fraction=self.boundary_fraction,
-                    seed=self.seed + round_id * 131 + part,
-                )
-                if subgraph.train_mask is None or subgraph.train_mask.sum() == 0:
-                    continue
-                loss = self._train_on_subgraph(subgraph, epochs_per_part)
-                result.round_losses.append(loss)
-                result.subgraph_sizes.append(subgraph.n_nodes)
-        result.test_metric = self.evaluate_full_graph()
-        return result
+        return self._fit(rounds, steps_per_batch=epochs_per_part)
 
 
-class SampledTrainer(_SubgraphTrainerBase):
+class SampledTrainer(_SubgraphTrainerShim):
     """GraphSAINT-style trainer over random-node subgraph batches."""
 
     def __init__(self, graph: Graph, config: GNNConfig,
                  sample_size: int, lr: float = 0.01, seed: int = 0,
-                 sampler: Callable[..., Graph] = node_sampler):
-        super().__init__(graph, config, lr=lr, seed=seed)
+                 sampler: Union[str, Callable[..., Graph]] = node_sampler):
         if not 1 <= sample_size <= graph.n_nodes:
             raise ValueError("sample_size out of range")
+        flow = SampledFlow(sampler=sampler, sample_size=sample_size, seed=seed)
+        super().__init__(graph, config, flow, lr=lr, seed=seed)
         self.sample_size = sample_size
         self.sampler = sampler
 
     def fit(self, rounds: int, epochs_per_sample: int = 5) -> SubgraphTrainResult:
-        if rounds < 1:
-            raise ValueError("rounds must be positive")
-        result = SubgraphTrainResult()
-        for round_id in range(rounds):
-            subgraph = self.sampler(
-                self.graph, self.sample_size, seed=self.seed + round_id
-            )
-            if subgraph.train_mask is None or subgraph.train_mask.sum() == 0:
-                continue
-            loss = self._train_on_subgraph(subgraph, epochs_per_sample)
-            result.round_losses.append(loss)
-            result.subgraph_sizes.append(subgraph.n_nodes)
-        result.test_metric = self.evaluate_full_graph()
-        return result
+        return self._fit(rounds, steps_per_batch=epochs_per_sample)

@@ -59,15 +59,11 @@ def run_seeded(
     metric_name = ""
     for seed in range(n_seeds):
         graph = load_training_dataset(dataset, seed=seed)
-        out_features = (
-            graph.labels.shape[1] if graph.multilabel
-            else int(graph.labels.max()) + 1
-        )
         config = GNNConfig(
             model_type=model_type,
             in_features=cfg.n_features,
             hidden=cfg.hidden,
-            out_features=out_features,
+            out_features=graph.label_dim(),
             n_layers=cfg.layers,
             nonlinearity=nonlinearity,
             k=k,

@@ -1,43 +1,32 @@
-"""Full-batch GNN trainer (the paper's single-GPU training workload)."""
+"""Full-batch GNN trainer (the paper's single-GPU training workload).
+
+Since the engine refactor this is a thin compatibility shim: a
+:class:`Trainer` is an :class:`~repro.training.engine.Engine` fixed to the
+:class:`~repro.training.dataflow.FullGraphFlow`, preserving the historical
+constructor and the exact full-batch optimisation trajectory (the fig10
+convergence artifact reproduces bit-identically through the engine loop).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..graphs import Graph
 from ..models import MaxKGNN
-from ..tensor import Adam, Tensor, bce_with_logits, cross_entropy, no_grad
-from .metrics import accuracy, micro_f1, roc_auc
+from .dataflow import FullGraphFlow
+from .engine import Engine, TrainResult
 
 __all__ = ["TrainResult", "Trainer"]
-
-
-@dataclass
-class TrainResult:
-    """History and final quality of one training run."""
-
-    train_losses: List[float] = field(default_factory=list)
-    val_metrics: List[float] = field(default_factory=list)
-    test_metrics: List[float] = field(default_factory=list)
-    epochs_recorded: List[int] = field(default_factory=list)
-    best_val: float = -np.inf
-    test_at_best_val: float = -np.inf
-    metric_name: str = "accuracy"
-
-    @property
-    def final_test(self) -> float:
-        return self.test_metrics[-1] if self.test_metrics else float("nan")
 
 
 class Trainer:
     """Trains a :class:`MaxKGNN` full-batch with Adam.
 
-    The loss is cross-entropy for single-label tasks and BCE-with-logits for
-    multi-label tasks; the evaluation metric follows the paper's protocol
-    per dataset (accuracy / micro-F1 / ROC-AUC).
+    Delegates to :class:`Engine` with a :class:`FullGraphFlow`; prefer the
+    engine directly for new code (it also serves sampled and partitioned
+    batch streams).
     """
 
     def __init__(
@@ -46,71 +35,35 @@ class Trainer:
         graph: Graph,
         lr: float = 0.01,
         weight_decay: float = 0.0,
-        metric: str = None,
+        metric: Optional[str] = None,
     ):
-        if graph.features is None or graph.labels is None:
-            raise ValueError("graph must carry features and labels")
+        self.engine = Engine(
+            model, graph, FullGraphFlow(),
+            lr=lr, weight_decay=weight_decay, metric=metric,
+        )
         self.model = model
         self.graph = graph
-        self.optimizer = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
-        if metric is None:
-            metric = "micro_f1" if graph.multilabel else "accuracy"
-        if metric not in ("accuracy", "micro_f1", "roc_auc"):
-            raise ValueError(f"unknown metric {metric!r}")
-        if metric == "accuracy" and graph.multilabel:
-            raise ValueError("accuracy metric needs single-label targets")
-        self.metric = metric
-        self._features = np.asarray(graph.features, dtype=np.float64)
 
-    # ------------------------------------------------------------------
-    def _loss(self, logits: Tensor) -> Tensor:
-        mask = self.graph.train_mask
-        if self.graph.multilabel:
-            return bce_with_logits(logits, self.graph.labels, mask)
-        return cross_entropy(logits, self.graph.labels, mask)
+    @property
+    def optimizer(self):
+        return self.engine.optimizer
 
-    def _score(self, logits: np.ndarray, mask: np.ndarray) -> float:
-        if self.metric == "accuracy":
-            return accuracy(logits, self.graph.labels, mask)
-        if self.metric == "micro_f1":
-            return micro_f1(logits, self.graph.labels, mask)
-        return roc_auc(logits, self.graph.labels, mask)
+    @property
+    def metric(self) -> str:
+        return self.engine.metric
+
+    @property
+    def _features(self) -> np.ndarray:
+        return self.engine._features
 
     def evaluate(self) -> Dict[str, float]:
         """Metric on the val and test splits with the model in eval mode."""
-        self.model.eval()
-        with no_grad():
-            logits = self.model(self._features).numpy()
-        self.model.train()
-        return {
-            "val": self._score(logits, self.graph.val_mask),
-            "test": self._score(logits, self.graph.test_mask),
-        }
+        return self.engine.evaluate()
 
     def train_epoch(self) -> float:
         """One full-batch gradient step; returns the training loss."""
-        self.optimizer.zero_grad()
-        logits = self.model(self._features)
-        loss = self._loss(logits)
-        loss.backward()
-        self.optimizer.step()
-        return loss.item()
+        return self.engine.train_epoch()
 
     def fit(self, epochs: int, eval_every: int = 10) -> TrainResult:
         """Train for ``epochs``; record metrics every ``eval_every`` epochs."""
-        if epochs < 1:
-            raise ValueError("epochs must be positive")
-        result = TrainResult(metric_name=self.metric)
-        for epoch in range(epochs):
-            loss = self.train_epoch()
-            result.train_losses.append(loss)
-            is_last = epoch == epochs - 1
-            if epoch % eval_every == 0 or is_last:
-                scores = self.evaluate()
-                result.epochs_recorded.append(epoch)
-                result.val_metrics.append(scores["val"])
-                result.test_metrics.append(scores["test"])
-                if scores["val"] >= result.best_val:
-                    result.best_val = scores["val"]
-                    result.test_at_best_val = scores["test"]
-        return result
+        return self.engine.fit(epochs, eval_every=eval_every)

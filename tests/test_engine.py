@@ -1,0 +1,280 @@
+"""Tests for the unified training engine and its data-flow strategies."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import attach_classification_task, sbm_graph
+from repro.models import GNNConfig, MaxKGNN
+from repro.training import (
+    Engine,
+    FullGraphFlow,
+    PartitionedFlow,
+    SampledFlow,
+    SubgraphCache,
+    Trainer,
+    make_flow,
+)
+from repro.training.schedulers import EarlyStopping
+
+
+@pytest.fixture
+def graph():
+    graph = sbm_graph(180, 4, 8.0, intra_fraction=0.7, seed=9).to_undirected()
+    attach_classification_task(graph, n_features=8, signal=0.5, seed=9)
+    return graph
+
+
+def maxk_config():
+    return GNNConfig(
+        model_type="sage", in_features=8, hidden=16, out_features=4,
+        n_layers=2, nonlinearity="maxk", k=4, dropout=0.1,
+    )
+
+
+def make_engine(graph, flow=None, seed=0, **kwargs):
+    model = MaxKGNN(graph, maxk_config(), seed=seed)
+    return Engine(model, graph, flow, lr=0.01, **kwargs)
+
+
+class TestEngineFullFlow:
+    def test_matches_trainer_bitwise(self, graph):
+        """The Trainer shim and a bare engine produce identical runs."""
+        trainer = Trainer(MaxKGNN(graph, maxk_config(), seed=0), graph, lr=0.01)
+        engine = make_engine(graph, FullGraphFlow(), seed=0)
+        a = trainer.fit(12, eval_every=5)
+        b = engine.fit(12, eval_every=5)
+        assert a.train_losses == b.train_losses
+        assert a.val_metrics == b.val_metrics
+        assert a.test_metrics == b.test_metrics
+
+    def test_default_flow_is_full(self, graph):
+        engine = make_engine(graph)
+        assert engine.flow.name == "full"
+        result = engine.fit(3, eval_every=2)
+        assert result.flow == "full"
+        assert len(result.train_losses) == 3
+        assert result.batch_sizes == [graph.n_nodes] * 3
+
+    def test_learns_above_chance(self, graph):
+        result = make_engine(graph).fit(40, eval_every=10)
+        assert result.test_at_best_val > 1.0 / 4
+
+    def test_early_stopping_halts(self, graph):
+        engine = make_engine(
+            graph, early_stopping=EarlyStopping(patience=1, min_delta=1.0)
+        )
+        result = engine.fit(50, eval_every=1)
+        # An unreachable min_delta stalls immediately: stop on 2nd eval.
+        assert len(result.val_metrics) == 2
+
+    def test_validation(self, graph):
+        engine = make_engine(graph)
+        with pytest.raises(ValueError):
+            engine.fit(0)
+        with pytest.raises(ValueError):
+            engine.fit(5, eval_every=0)
+        with pytest.raises(ValueError):
+            engine.fit(5, steps_per_batch=0)
+        bare = sbm_graph(30, 2, 4.0, seed=0)
+        with pytest.raises(ValueError, match="features and labels"):
+            Engine(MaxKGNN(graph, maxk_config(), seed=0), bare)
+
+
+class TestEngineSampledFlow:
+    def test_trains_and_records_batches(self, graph):
+        flow = SampledFlow(sampler="node", batches_per_epoch=3,
+                           sample_size=60, seed=0)
+        result = make_engine(graph, flow).fit(6, eval_every=3)
+        assert result.flow == "sampled/nodex3"
+        assert len(result.train_losses) == 6
+        assert len(result.batch_losses) == 18
+        assert all(size == 60 for size in result.batch_sizes)
+
+    def test_batches_deterministic_per_slot(self, graph):
+        a = SampledFlow(sampler="node", sample_size=50, seed=3)
+        b = SampledFlow(sampler="node", sample_size=50, seed=3)
+        sub_a = list(a.batches(graph, epoch=0))[0]
+        sub_b = list(b.batches(graph, epoch=0))[0]
+        np.testing.assert_array_equal(sub_a.features, sub_b.features)
+
+    def test_pool_recycles_subgraphs(self, graph):
+        flow = SampledFlow(sampler="node", sample_size=50, seed=0,
+                           pool_size=2, cache_size=4)
+        first = [list(flow.batches(graph, e))[0] for e in range(2)]
+        second = [list(flow.batches(graph, e))[0] for e in range(2, 4)]
+        assert first[0] is second[0] and first[1] is second[1]
+        assert flow.cache.hits == 2
+
+    def test_eviction_clears_backend_cache(self, graph, monkeypatch):
+        calls = []
+
+        class _Spy:
+            def clear_cache(self):
+                calls.append(1)
+
+        import repro.training.dataflow as dataflow
+
+        monkeypatch.setattr(dataflow, "get_backend", lambda: _Spy())
+        # An explicit cache bound below the pool is honoured and evicts.
+        flow = SampledFlow(sampler="node", sample_size=40, seed=0,
+                           pool_size=5, cache_size=2)
+        for epoch in range(5):
+            list(flow.batches(graph, epoch))
+        assert flow.cache.evictions == 3
+        assert len(calls) == 3
+        assert len(flow.cache) == 2
+
+    def test_cache_resets_on_new_graph(self, graph):
+        """Pooled slots are per-graph: switching graphs must not serve
+        subgraphs sampled from the previous one."""
+        other = sbm_graph(120, 3, 6.0, seed=5).to_undirected()
+        attach_classification_task(other, n_features=8, seed=5)
+        flow = SampledFlow(sampler="node", sample_size=40, seed=0,
+                           pool_size=2)
+        from_first = list(flow.batches(graph, 0))[0]
+        from_second = list(flow.batches(other, 0))[0]
+        assert from_first is not from_second
+        assert from_second.n_nodes == 40
+        # Reusing slot 0 on the new graph serves the new graph's subgraph.
+        assert list(flow.batches(other, 0))[0] is from_second
+
+    def test_unpooled_stream_bypasses_cache(self, graph):
+        flow = SampledFlow(sampler="node", sample_size=40, seed=0)
+        for epoch in range(5):
+            list(flow.batches(graph, epoch))
+        assert len(flow.cache) == 0
+        assert flow.cache.evictions == 0
+
+    def test_cache_defaults_to_pool_size(self):
+        assert SampledFlow(pool_size=16).cache.capacity == 16
+        assert SampledFlow(pool_size=16, cache_size=8).cache.capacity == 8
+        assert SampledFlow().cache.capacity == 8
+
+    def test_khop_flow_trains(self, graph):
+        flow = SampledFlow(sampler="khop", batches_per_epoch=2,
+                           sample_size=20, n_hops=2, fanout=4, seed=0)
+        result = make_engine(graph, flow).fit(4, eval_every=2)
+        assert len(result.batch_losses) == 8
+        assert all(size >= 1 for size in result.batch_sizes)
+
+    def test_walk_and_edge_flows_train(self, graph):
+        for sampler in ("walk", "edge"):
+            flow = SampledFlow(sampler=sampler, sample_size=40, seed=0)
+            result = make_engine(graph, flow).fit(2, eval_every=1)
+            assert len(result.batch_losses) == 2
+
+    def test_custom_callable_sampler(self, graph):
+        from repro.graphs import node_sampler
+
+        flow = SampledFlow(sampler=node_sampler, sample_size=45, seed=0)
+        result = make_engine(graph, flow).fit(2, eval_every=1)
+        assert all(size == 45 for size in result.batch_sizes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SampledFlow(sampler="bogus")
+        with pytest.raises(ValueError):
+            SampledFlow(batches_per_epoch=0)
+        with pytest.raises(ValueError):
+            SampledFlow(sample_size=0)
+        with pytest.raises(ValueError):
+            SampledFlow(pool_size=0)
+        with pytest.raises(ValueError):
+            SampledFlow(cache_size=0)
+        with pytest.raises(ValueError):
+            SubgraphCache(0)
+
+
+class TestEnginePartitionedFlow:
+    def test_visits_every_part(self, graph):
+        flow = PartitionedFlow(n_parts=3, boundary_fraction=0.3, seed=0)
+        batches = list(flow.batches(graph, epoch=0))
+        assert len(batches) == 3
+        covered = sum(b.n_nodes for b in batches)
+        assert covered >= graph.n_nodes  # halos overlap the interiors
+
+    def test_partition_computed_once(self, graph):
+        flow = PartitionedFlow(n_parts=3, seed=0)
+        assert flow.partition_for(graph) is flow.partition_for(graph)
+
+    def test_trains_above_chance(self, graph):
+        flow = PartitionedFlow(n_parts=3, boundary_fraction=0.3, seed=0)
+        result = make_engine(graph, flow).fit(
+            4, eval_every=4, steps_per_batch=4
+        )
+        assert result.final_test > 1.0 / 4
+        assert len(result.batch_losses) == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartitionedFlow(n_parts=0)
+        with pytest.raises(ValueError):
+            PartitionedFlow(n_parts=2, boundary_fraction=1.5)
+
+
+class TestMakeFlow:
+    def test_builds_each_flow(self):
+        assert make_flow("full").name == "full"
+        assert make_flow("sampled", sampler="node").name == "sampled"
+        assert make_flow("partitioned", n_parts=2).name == "partitioned"
+
+    def test_unknown_flow_rejected(self):
+        with pytest.raises(ValueError, match="unknown flow"):
+            make_flow("streamed")
+
+
+class TestModelRebinding:
+    def test_bind_graph_preserves_parameters(self, graph):
+        model = MaxKGNN(graph, maxk_config(), seed=0)
+        before = [p.data.copy() for p in model.parameters()]
+        sub_nodes = np.arange(0, graph.n_nodes, 2)
+        from repro.graphs import induced_subgraph
+
+        subgraph = induced_subgraph(graph, sub_nodes)
+        model.bind_graph(subgraph)
+        for old, new in zip(before, model.parameters()):
+            np.testing.assert_array_equal(old, new.data)
+        logits = model(np.asarray(subgraph.features, dtype=np.float64))
+        assert logits.shape == (subgraph.n_nodes, 4)
+        model.bind_graph(graph)
+        assert model(np.asarray(graph.features, dtype=np.float64)).shape == (
+            graph.n_nodes, 4,
+        )
+
+    def test_optimizer_state_survives_flow_switch(self, graph):
+        """One Adam trajectory spans full and sampled batches."""
+        engine = make_engine(graph, SampledFlow("node", sample_size=60, seed=0))
+        engine.fit(3, eval_every=3)
+        t_before = engine.optimizer._t
+        engine.flow = FullGraphFlow()
+        engine.fit(2, eval_every=2)
+        assert engine.optimizer._t == t_before + 2
+
+
+class TestCliTrain:
+    def test_train_command_full(self, capsys):
+        from repro.cli import main
+
+        assert main(["train", "--dataset", "Flickr", "--epochs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "flow         full" in out
+
+    def test_train_command_sampled(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "train", "--dataset", "Flickr", "--epochs", "3",
+            "--flow", "sampled", "--sampler", "node",
+            "--batches-per-epoch", "2", "--sample-size", "150",
+            "--pool-size", "4",
+        ]) == 0
+        assert "sampled/nodex2" in capsys.readouterr().out
+
+    def test_train_command_partitioned(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "train", "--dataset", "Flickr", "--epochs", "3",
+            "--flow", "partitioned", "--n-parts", "2",
+        ]) == 0
+        assert "partitioned/2" in capsys.readouterr().out

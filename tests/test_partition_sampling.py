@@ -4,7 +4,9 @@ import numpy as np
 import pytest
 
 from repro.graphs import (
+    Graph,
     Partition,
+    as_generator,
     attach_classification_task,
     bfs_partition,
     bns_sample,
@@ -172,3 +174,88 @@ class TestSamplers:
             khop_neighborhood(graph, np.array([0]), -1, 2)
         with pytest.raises(ValueError):
             khop_neighborhood(graph, np.array([graph.n_nodes]), 1, 2)
+
+
+class TestGeneratorSeeds:
+    """Samplers accept a streaming np.random.Generator in place of an int."""
+
+    def test_generator_matches_int_seed(self, graph):
+        from_int = node_sampler(graph, 40, seed=7)
+        from_gen = node_sampler(graph, 40, seed=np.random.default_rng(7))
+        np.testing.assert_array_equal(from_int.features, from_gen.features)
+
+    def test_generator_streams_across_calls(self, graph):
+        """One generator yields a different batch per call — no reseeding."""
+        rng = np.random.default_rng(7)
+        first = node_sampler(graph, 40, seed=rng)
+        second = node_sampler(graph, 40, seed=rng)
+        assert not np.array_equal(first.features, second.features)
+
+    def test_every_sampler_accepts_generator(self, graph):
+        rng = np.random.default_rng(0)
+        assert node_sampler(graph, 30, seed=rng).n_nodes == 30
+        assert edge_sampler(graph, 50, seed=rng).n_edges > 0
+        assert random_walk_sampler(graph, 4, 6, seed=rng).n_nodes >= 4
+        sub = khop_neighborhood(graph, np.array([0, 1]), 1, 3, rng_seed=rng)
+        assert sub.n_nodes >= 2
+
+    def test_as_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_generator(rng) is rng
+        assert isinstance(as_generator(5), np.random.Generator)
+
+
+class TestPayloadPropagation:
+    """Labels / features / split masks must survive subgraph induction —
+    the engine trains and skips batches based on the sliced masks."""
+
+    @pytest.fixture
+    def annotated(self):
+        # Identity-coded payloads make the node mapping checkable exactly.
+        base = sbm_graph(60, 3, 6.0, seed=2).to_undirected()
+        n = base.n_nodes
+        return Graph(
+            n_nodes=n, src=base.src, dst=base.dst,
+            features=np.arange(n, dtype=np.float64)[:, None].repeat(4, axis=1),
+            labels=np.arange(n, dtype=np.int64) % 3,
+            train_mask=np.arange(n) % 3 == 0,
+            val_mask=np.arange(n) % 3 == 1,
+            test_mask=np.arange(n) % 3 == 2,
+        )
+
+    def test_induced_subgraph_propagates_all_payloads(self, annotated):
+        nodes = np.array([3, 7, 12, 30, 59])
+        sub = induced_subgraph(annotated, nodes)
+        np.testing.assert_array_equal(sub.features[:, 0], nodes)
+        np.testing.assert_array_equal(sub.labels, nodes % 3)
+        np.testing.assert_array_equal(sub.train_mask, nodes % 3 == 0)
+        np.testing.assert_array_equal(sub.val_mask, nodes % 3 == 1)
+        np.testing.assert_array_equal(sub.test_mask, nodes % 3 == 2)
+
+    def test_khop_subgraph_propagates_masks(self, annotated):
+        seeds = np.array([0, 9, 21])
+        sub = khop_neighborhood(annotated, seeds, n_hops=2, fanout=3,
+                                rng_seed=0)
+        # Features column 0 recovers each node's original id.
+        original = sub.features[:, 0].astype(np.int64)
+        np.testing.assert_array_equal(sub.labels, original % 3)
+        np.testing.assert_array_equal(sub.train_mask, original % 3 == 0)
+        np.testing.assert_array_equal(sub.test_mask, original % 3 == 2)
+        # The khop seeds were training nodes — they must remain in-mask.
+        assert set(seeds).issubset(set(original[sub.train_mask]))
+
+    def test_khop_masks_consistent_with_splits(self, annotated):
+        sub = khop_neighborhood(annotated, np.array([0, 3]), n_hops=1,
+                                fanout=4, rng_seed=1)
+        overlap = (
+            (sub.train_mask & sub.val_mask)
+            | (sub.train_mask & sub.test_mask)
+            | (sub.val_mask & sub.test_mask)
+        )
+        assert not overlap.any()
+        assert (sub.train_mask | sub.val_mask | sub.test_mask).all()
+
+    def test_sampler_subgraphs_keep_mask_dtype_bool(self, graph):
+        sub = node_sampler(graph, 50, seed=0)
+        assert sub.train_mask.dtype == bool
+        assert sub.train_mask.shape == (50,)
