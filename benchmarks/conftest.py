@@ -10,6 +10,8 @@ from pathlib import Path
 
 import pytest
 
+from repro.experiments.common import perf_smoke_enabled
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
@@ -21,11 +23,18 @@ def results_dir() -> Path:
 
 @pytest.fixture
 def record_result(results_dir):
-    """Write one artifact's rendered report to the results directory."""
+    """Write one artifact's rendered report to the results directory.
+
+    Assert-only smoke runs (``REPRO_PERF_SMOKE=1`` — the CI perf gate)
+    still print the table but do not write: the committed artifacts record
+    the full protocol, and a shrunken smoke run must not clobber them.
+    """
+    smoke = perf_smoke_enabled()
 
     def _record(name: str, text: str) -> None:
-        path = results_dir / f"{name}.txt"
-        path.write_text(text + "\n")
+        if not smoke:
+            path = results_dir / f"{name}.txt"
+            path.write_text(text + "\n")
         # Also echo to stdout for -s runs.
         print(f"\n=== {name} ===\n{text}")
 

@@ -13,13 +13,16 @@ import time
 import numpy as np
 import pytest
 
-from repro.experiments.common import format_table, scaled_k
+from repro.experiments.common import format_table, perf_smoke_enabled, scaled_k
 from repro.graphs import TRAINING_CONFIGS, load_training_dataset
 from repro.models import GNNConfig, MaxKGNN
 from repro.training import Engine, FullGraphFlow, SampledFlow
 
 DATASET = "Reddit"
-N_SEEDS = 3
+#: ``REPRO_PERF_SMOKE=1`` shrinks the run so CI's perf-smoke job can use
+#: this benchmark as an assert-only regression gate (see test_dense_hotpath).
+SMOKE = perf_smoke_enabled()
+N_SEEDS = 1 if SMOKE else 3
 #: Half-graph node samples; one batch per epoch at double the epochs keeps
 #: the optimizer-step budget comparable to full-batch.
 SAMPLE_FRACTION = 2

@@ -16,6 +16,8 @@ Training runs through the execution engine with a selectable data flow::
     python -m repro train --dataset Flickr --flow full
     python -m repro train --dataset Reddit --flow sampled --sampler node \
         --batches-per-epoch 2 --sample-size 300 --pool-size 8
+    python -m repro train --dataset Reddit --flow sampled --sampler node \
+        --batches-per-epoch 8 --sample-size 50 --pool-size 8 --micro-batch 8
     python -m repro train --dataset ogbn-products --flow partitioned --n-parts 4
 """
 
@@ -129,14 +131,16 @@ def _run_train(args) -> str:
             sample_size=args.sample_size, walk_length=args.walk_length,
             n_hops=args.n_hops, fanout=args.fanout,
             pool_size=args.pool_size, seed=args.seed,
+            micro_batch=args.micro_batch,
         )
     elif args.flow == "partitioned":
         flow = make_flow(
             "partitioned", n_parts=args.n_parts,
             boundary_fraction=args.boundary_fraction, seed=args.seed,
+            micro_batch=args.micro_batch,
         )
     else:
-        flow = make_flow("full")
+        flow = make_flow("full", micro_batch=args.micro_batch)
     engine = Engine(
         MaxKGNN(graph, config, seed=args.seed), graph, flow, lr=cfg.lr
     )
@@ -208,6 +212,9 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--fanout", type=int, default=8)
     train.add_argument("--pool-size", type=int, default=None,
                        help="recycle sampled subgraphs through a pool")
+    train.add_argument("--micro-batch", type=int, default=1,
+                       help="stack this many consecutive batches of the "
+                            "chosen flow into one fused dense pass")
     train.add_argument("--n-parts", type=int, default=4,
                        help="partitions for --flow partitioned")
     train.add_argument("--boundary-fraction", type=float, default=0.2)

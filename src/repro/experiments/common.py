@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, List, Sequence
 
 from ..gpusim import A100, DeviceModel, SparsePattern
@@ -14,7 +15,20 @@ __all__ = [
     "epoch_model_for",
     "scaled_k",
     "format_table",
+    "perf_smoke_enabled",
 ]
+
+
+def perf_smoke_enabled() -> bool:
+    """True when ``REPRO_PERF_SMOKE`` requests assert-only smoke benchmarks.
+
+    Tolerant of the usual truthy spellings (``1``/``true``/``yes``/``on``,
+    any case); anything else — including unset or empty — means full
+    protocol. Shared by the perf benchmarks and their conftest so the CI
+    gate and the committed artifacts agree on what "smoke" means.
+    """
+    value = os.environ.get("REPRO_PERF_SMOKE", "").strip().lower()
+    return value in ("1", "true", "yes", "on")
 
 #: The k sweep of the paper's evaluation (§5.1): dim_origin 256.
 K_VALUES = [2, 4, 8, 16, 32, 64, 96, 128, 192]

@@ -15,6 +15,7 @@ from .features import (
     attach_multilabel_task,
     random_splits,
 )
+from .batching import batch_graphs
 from .generators import chain_of_cliques, erdos_renyi_graph, rmat_graph, sbm_graph
 from .graph import Graph, normalized_adjacency
 from .partition import (
@@ -43,6 +44,7 @@ from .sampling import (
 __all__ = [
     "Graph",
     "normalized_adjacency",
+    "batch_graphs",
     "rmat_graph",
     "sbm_graph",
     "chain_of_cliques",

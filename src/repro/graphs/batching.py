@@ -1,0 +1,70 @@
+"""Disjoint-union batching of graphs (the DGL ``batch`` role).
+
+Stacking several sampled subgraphs into one graph turns their per-step
+dense work — linear transforms, activations, dropout, the classifier —
+into single fused passes over the concatenated node rows, while the
+block-diagonal adjacency keeps aggregation strictly per-subgraph (no
+cross-subgraph edges exist, so each block aggregates exactly as it would
+alone). :class:`repro.training.dataflow.MicroBatchedFlow` rides this to
+batch several pooled subgraph steps into one fused linear pass.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["batch_graphs"]
+
+
+def _stack_payload(parts, converter=np.concatenate) -> Optional[np.ndarray]:
+    """Concatenate per-node payload rows; None only if absent everywhere."""
+    present = [p for p in parts if p is not None]
+    if not present:
+        return None
+    if len(present) != len(parts):
+        raise ValueError("payload present on some member graphs but not all")
+    return converter([np.asarray(p) for p in parts])
+
+
+def batch_graphs(graphs: Sequence[Graph]) -> Graph:
+    """Disjoint union of ``graphs``: node ids offset, payloads concatenated.
+
+    Every member keeps its internal edges (shifted by its node offset);
+    features, labels, masks and communities are stacked row-wise in member
+    order. Multi-label members stack their label matrices; single-label
+    members concatenate label vectors — mixing the two is rejected, as is
+    an empty sequence.
+    """
+    graphs = list(graphs)
+    if not graphs:
+        raise ValueError("batch_graphs needs at least one graph")
+    if len(graphs) == 1:
+        return graphs[0]
+    multilabel = graphs[0].multilabel
+    if any(g.multilabel != multilabel for g in graphs):
+        raise ValueError("cannot batch multi-label with single-label graphs")
+
+    offsets = np.cumsum([0] + [g.n_nodes for g in graphs])
+    src = np.concatenate(
+        [g.src + offset for g, offset in zip(graphs, offsets)]
+    )
+    dst = np.concatenate(
+        [g.dst + offset for g, offset in zip(graphs, offsets)]
+    )
+    return Graph(
+        n_nodes=int(offsets[-1]),
+        src=src,
+        dst=dst,
+        features=_stack_payload([g.features for g in graphs]),
+        labels=_stack_payload([g.labels for g in graphs]),
+        train_mask=_stack_payload([g.train_mask for g in graphs]),
+        val_mask=_stack_payload([g.val_mask for g in graphs]),
+        test_mask=_stack_payload([g.test_mask for g in graphs]),
+        name=f"batch[{len(graphs)}x{graphs[0].name}]",
+        multilabel=multilabel,
+        communities=_stack_payload([g.communities for g in graphs]),
+    )

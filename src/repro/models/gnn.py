@@ -13,7 +13,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..graphs import Graph
-from ..tensor import Tensor, dropout
+from ..tensor import Tensor, Workspace, dropout, linear_act
 from .layers import make_conv
 from .modules import Linear, Module
 
@@ -34,6 +34,10 @@ class GNNConfig:
     dropout: float = 0.0
     #: Execute the literal CBSR SpGEMM/SSpMM dataflow in MaxK layers.
     use_cbsr_kernels: bool = False
+    #: Plan the dense hot path through a reusable buffer workspace (fused
+    #: linear/activation kernels, ``out=`` aggregation). Values are bit-
+    #: identical either way; disabling reverts to per-op allocations.
+    use_workspace: bool = True
 
     def __post_init__(self):
         if self.n_layers < 1:
@@ -56,6 +60,9 @@ class MaxKGNN(Module):
         self.graph = graph
         rng = np.random.default_rng(seed)
         self._dropout_rng = np.random.default_rng(seed + 1)
+        #: One arena serves the whole model; each layer writes to its own
+        #: slots, so a steady-state step reuses every large buffer.
+        self.workspace = Workspace() if config.use_workspace else None
 
         self.convs: List[Module] = []
         for layer in range(config.n_layers):
@@ -70,6 +77,8 @@ class MaxKGNN(Module):
                 k=config.k,
                 use_cbsr_kernels=config.use_cbsr_kernels,
             )
+            conv.workspace = self.workspace
+            conv.slot = f"conv{layer}"
             self.convs.append(conv)
             setattr(self, f"conv{layer}", conv)
         self.classifier = Linear(config.hidden, config.out_features, rng)
@@ -89,7 +98,18 @@ class MaxKGNN(Module):
     def forward(self, x) -> Tensor:
         if not isinstance(x, Tensor):
             x = Tensor(x)
-        for conv in self.convs:
-            x = dropout(x, self.config.dropout, self.training, self._dropout_rng)
+        for index, conv in enumerate(self.convs):
+            x = dropout(
+                x, self.config.dropout, self.training, self._dropout_rng,
+                workspace=self.workspace, slot=f"drop{index}",
+            )
             x = conv(x)
+        # Evaluation stays on the composed ops (see
+        # GraphConvLayer._transform_activate_aggregate): the arena never
+        # shrinks, so full-graph eval passes must not size its slots.
+        if self.workspace is not None and self.training:
+            return linear_act(
+                x, self.classifier.weight, self.classifier.bias,
+                activation="none", workspace=self.workspace, slot="classifier",
+            )
         return self.classifier(x)

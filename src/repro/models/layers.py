@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graphs import Graph
-from ..tensor import Tensor, maxk, relu, spmm_agg
+from ..tensor import Tensor, add_into, linear_act, maxk, relu, spmm_agg
 from ..tensor.functional import spgemm_agg
 from .modules import Linear, Module
 
@@ -52,6 +52,10 @@ class GraphConvLayer(Module):
         self.nonlinearity = nonlinearity
         self.k = k
         self.use_cbsr_kernels = use_cbsr_kernels
+        #: Workspace for the fused zero-allocation hot path; attached by the
+        #: owning model (``MaxKGNN``) together with a stable slot name.
+        self.workspace = None
+        self.slot = f"conv@{id(self)}"
         self.bind_graph(graph)
         self.linear = Linear(in_features, out_features, rng)
 
@@ -85,6 +89,37 @@ class GraphConvLayer(Module):
             return spgemm_agg(self.adj, y, self.k)
         return self._aggregate(self._activate(y))
 
+    def _transform_activate_aggregate(self, x: Tensor) -> Tensor:
+        """The layer's full hot path: linear + nonlinearity + aggregation.
+
+        With a workspace attached (and the dense path active) this routes
+        through the fused :func:`~repro.tensor.functional.linear_act`
+        kernel — one pass folding matmul, bias and activation into
+        preplanned buffers — and the ``out=`` SpMM; the values are bit-
+        identical to the composed ops, only the allocations disappear.
+        Evaluation passes stay on the composed ops: they run rarely and
+        on the full graph, and the arena's capacity never shrinks, so
+        routing them through the workspace would pin full-graph-sized
+        buffers for the rest of the process.
+        """
+        if self.use_cbsr_kernels:
+            return spgemm_agg(self.adj, self.linear(x), self.k)
+        if self.workspace is not None and self.training:
+            h = linear_act(
+                x,
+                self.linear.weight,
+                self.linear.bias,
+                activation=self.nonlinearity,
+                k=self.k,
+                workspace=self.workspace,
+                slot=self.slot + ".lin",
+            )
+            return spmm_agg(
+                self.adj, h, self.adj_t,
+                workspace=self.workspace, slot=self.slot + ".agg",
+            )
+        return self._aggregate(self._activate(self.linear(x)))
+
 
 class SAGEConv(GraphConvLayer):
     """GraphSAGE with mean aggregator plus a root/self path.
@@ -102,7 +137,18 @@ class SAGEConv(GraphConvLayer):
         self.linear_self = Linear(in_features, out_features, rng)
 
     def forward(self, x: Tensor) -> Tensor:
-        aggregated = self._activate_and_aggregate(self.linear(x))
+        aggregated = self._transform_activate_aggregate(x)
+        if (self.workspace is not None and self.training
+                and not self.use_cbsr_kernels):
+            root = linear_act(
+                x, self.linear_self.weight, self.linear_self.bias,
+                activation="none",
+                workspace=self.workspace, slot=self.slot + ".self",
+            )
+            return add_into(
+                aggregated, root,
+                workspace=self.workspace, slot=self.slot + ".sum",
+            )
         return aggregated + self.linear_self(x)
 
 
@@ -112,7 +158,7 @@ class GCNConv(GraphConvLayer):
     norm = "gcn"
 
     def forward(self, x: Tensor) -> Tensor:
-        return self._activate_and_aggregate(self.linear(x))
+        return self._transform_activate_aggregate(x)
 
 
 class GINConv(GraphConvLayer):
@@ -130,6 +176,9 @@ class GINConv(GraphConvLayer):
         self.eps = Tensor(np.zeros(1), requires_grad=True)
 
     def forward(self, x: Tensor) -> Tensor:
+        # GIN consumes the pre-activation twice (aggregation + the epsilon
+        # self-term), so it stays on the composed ops; the fused kernels
+        # target the single-consumer SAGE/GCN hot path.
         y = self.linear(x)
         h = self._activate(y)
         return self._activate_and_aggregate(y) + h * (self.eps + 1.0)

@@ -181,20 +181,24 @@ class CSRMatrix:
             raise ValueError("col_scale must have one entry per column")
         return self.with_data(self.data * col_scale[self.indices])
 
-    def matmul_dense(self, x: np.ndarray) -> np.ndarray:
+    def matmul_dense(self, x: np.ndarray, out: np.ndarray = None) -> np.ndarray:
         """``A @ X`` through the active sparse-ops backend.
 
         Segment-sum over the edge list; numerically this is the exact
         computation the forward SpGEMM kernel performs. The implementation
         (naive loop, bincount/reduceat, scipy CSR kernel) is selected by
-        :mod:`repro.sparse.ops`.
+        :mod:`repro.sparse.ops`. ``out``, when given, receives the product
+        (and is returned), so workspace-planned training steps aggregate
+        into reused buffers.
         """
         x = np.asarray(x, dtype=np.float64)
         if x.shape[0] != self.n_cols:
             raise ValueError(
                 f"dimension mismatch: A is {self.shape}, X has {x.shape[0]} rows"
             )
-        return ops.spmm_csr(self.indptr, self.indices, self.data, x, self.n_rows)
+        return ops.spmm_csr(
+            self.indptr, self.indices, self.data, x, self.n_rows, out=out
+        )
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, CSRMatrix):

@@ -45,6 +45,15 @@ try:  # gated optional dependency; never required
 except ImportError:  # pragma: no cover - exercised only on scipy-less images
     _scipy_sparse = None
 
+try:  # compiled accumulate-into-out SpMM (the kernel csr @ dense rides)
+    from scipy.sparse import _sparsetools as _scipy_sparsetools
+except ImportError:  # pragma: no cover - scipy-less or renamed private module
+    _scipy_sparsetools = None
+if _scipy_sparsetools is not None and not hasattr(
+    _scipy_sparsetools, "csr_matvecs"
+):  # pragma: no cover - future scipy renames degrade to the copy path
+    _scipy_sparsetools = None
+
 __all__ = [
     "SparseOpsBackend",
     "ReferenceBackend",
@@ -64,6 +73,7 @@ __all__ = [
     "sspmm_cbsr",
     "topk_mask",
     "topk_columns",
+    "release",
 ]
 
 #: Clip bound shared by every softmax-style exponential in the codebase.
@@ -87,7 +97,11 @@ class SparseOpsBackend:
     name = "abstract"
 
     def segment_sum(
-        self, values: np.ndarray, segment_ids: np.ndarray, n_segments: int
+        self,
+        values: np.ndarray,
+        segment_ids: np.ndarray,
+        n_segments: int,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         raise NotImplementedError
 
@@ -120,6 +134,7 @@ class SparseOpsBackend:
         data: np.ndarray,
         x: np.ndarray,
         n_rows: int,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         raise NotImplementedError
 
@@ -146,7 +161,14 @@ class SparseOpsBackend:
     ) -> np.ndarray:
         raise NotImplementedError
 
-    def topk_mask(self, x: np.ndarray, k: int) -> np.ndarray:
+    def topk_mask(
+        self,
+        x: np.ndarray,
+        k: int,
+        out: Optional[np.ndarray] = None,
+        workspace=None,
+        slot: str = "topk",
+    ) -> np.ndarray:
         raise NotImplementedError
 
     def topk_columns(self, x: np.ndarray, k: int) -> np.ndarray:
@@ -161,6 +183,25 @@ class SparseOpsBackend:
     def clear_cache(self) -> None:
         """Release any per-graph caches; no-op for stateless backends."""
 
+    def release(self, matrices) -> int:
+        """Drop cached per-graph state for the given CSR matrices only.
+
+        ``matrices`` is an iterable of objects carrying ``indptr`` /
+        ``indices`` / ``data`` buffers (:class:`~repro.sparse.CSRMatrix`).
+        Unlike :meth:`clear_cache`, wrappers for every *other* graph stay
+        warm — this is what the training engine's subgraph-pool LRU calls
+        on eviction so the full graph and surviving slots keep their
+        compiled wrappers. Returns the number of entries dropped.
+
+        The base implementation falls back to :meth:`clear_cache` (and
+        returns 0, since it cannot count what was pinned): a caching
+        backend written against the PR-2 hook alone thus keeps its
+        bounded-pinned-memory guarantee under pool eviction, merely
+        losing the keep-survivors-warm refinement until it overrides this.
+        """
+        self.clear_cache()
+        return 0
+
     def cache_info(self) -> Dict[str, int]:
         """Size of any per-graph caches (empty for stateless backends)."""
         return {}
@@ -171,8 +212,11 @@ class ReferenceBackend(SparseOpsBackend):
 
     name = "reference"
 
-    def segment_sum(self, values, segment_ids, n_segments):
-        out = np.zeros((n_segments,) + values.shape[1:], dtype=np.float64)
+    def segment_sum(self, values, segment_ids, n_segments, out=None):
+        if out is None:
+            out = np.zeros((n_segments,) + values.shape[1:], dtype=np.float64)
+        else:
+            out[...] = 0.0
         for i, segment in enumerate(segment_ids):
             out[segment] += values[i]
         return out
@@ -210,8 +254,11 @@ class ReferenceBackend(SparseOpsBackend):
                 out[i] *= scale[i]
         return out
 
-    def spmm_csr(self, indptr, indices, data, x, n_rows):
-        out = np.zeros((n_rows,) + x.shape[1:], dtype=np.float64)
+    def spmm_csr(self, indptr, indices, data, x, n_rows, out=None):
+        if out is None:
+            out = np.zeros((n_rows,) + x.shape[1:], dtype=np.float64)
+        else:
+            out[...] = 0.0
         for row in range(n_rows):
             for edge in range(int(indptr[row]), int(indptr[row + 1])):
                 out[row] += data[edge] * x[indices[edge]]
@@ -233,8 +280,10 @@ class ReferenceBackend(SparseOpsBackend):
                 sp_grad[source] += data[edge] * grad_out[row, sp_index[source]]
         return sp_grad
 
-    def topk_mask(self, x, k):
-        mask = np.zeros_like(x, dtype=bool)
+    def topk_mask(self, x, k, out=None, workspace=None, slot="topk"):
+        mask = np.zeros_like(x, dtype=bool) if out is None else out
+        if out is not None:
+            mask[...] = False
         for i, row in enumerate(x):
             order = np.argsort(-row, kind="stable")  # ties -> lower column
             mask[i, order[:k]] = True
@@ -260,23 +309,31 @@ class VectorizedBackend(SparseOpsBackend):
 
     name = "vectorized"
 
-    def segment_sum(self, values, segment_ids, n_segments):
+    def segment_sum(self, values, segment_ids, n_segments, out=None):
         if values.ndim == 1:
-            return np.bincount(
+            result = np.bincount(
                 segment_ids, weights=values, minlength=n_segments
             ).astype(np.float64)
-        trailing = int(np.prod(values.shape[1:]))
-        flat_values = values.reshape(len(values), trailing)
-        flat_ids = (
-            segment_ids[:, None] * trailing
-            + np.arange(trailing, dtype=np.int64)[None, :]
-        )
-        flat = np.bincount(
-            flat_ids.ravel(),
-            weights=flat_values.ravel(),
-            minlength=n_segments * trailing,
-        )
-        return flat.reshape((n_segments,) + values.shape[1:])
+        else:
+            trailing = int(np.prod(values.shape[1:]))
+            flat_values = values.reshape(len(values), trailing)
+            flat_ids = (
+                segment_ids[:, None] * trailing
+                + np.arange(trailing, dtype=np.int64)[None, :]
+            )
+            flat = np.bincount(
+                flat_ids.ravel(),
+                weights=flat_values.ravel(),
+                minlength=n_segments * trailing,
+            )
+            result = flat.reshape((n_segments,) + values.shape[1:])
+        if out is None:
+            return result
+        # bincount owns its accumulator, so this path is not allocation-free
+        # — out= here buys callers a stable destination, not zero churn
+        # (the compiled scipy SpMM is the allocation-free route).
+        np.copyto(out, result)
+        return out
 
     def segment_max(self, values, segment_ids, n_segments, empty_value):
         out = np.full(
@@ -310,12 +367,12 @@ class VectorizedBackend(SparseOpsBackend):
                 out = out * scale
         return out
 
-    def spmm_csr(self, indptr, indices, data, x, n_rows):
+    def spmm_csr(self, indptr, indices, data, x, n_rows, out=None):
         row_ids = np.repeat(
             np.arange(n_rows, dtype=np.int64), np.diff(indptr)
         )
         gathered = self.gather_scale(x, indices, data)
-        return self.segment_sum(gathered, row_ids, n_rows)
+        return self.segment_sum(gathered, row_ids, n_rows, out=out)
 
     def spgemm_cbsr(self, indptr, indices, data, sp_data, sp_index, dim_origin, n_rows):
         row_ids = np.repeat(np.arange(n_rows, dtype=np.int64), np.diff(indptr))
@@ -360,8 +417,51 @@ class VectorizedBackend(SparseOpsBackend):
         mask |= ties & (np.cumsum(ties, axis=1) <= deficit)
         return mask
 
-    def topk_mask(self, x, k):
-        return self._stable_topk_mask(x, k)
+    @staticmethod
+    def _stable_topk_mask_into(keys, k, out, workspace, slot):
+        """The :meth:`_stable_topk_mask` computation written into ``out``.
+
+        Identical values and operation order, but every (n, dim)-sized
+        intermediate — the partition scratch, the tie mask, the running tie
+        count — lives in workspace slots, so steady-state MaxK selection
+        allocates nothing large.
+        """
+        n_rows, dim = keys.shape
+        if k == dim:
+            out[...] = True
+            return out
+        scratch = workspace.buffer(slot + ".part", keys.shape)
+        np.copyto(scratch, keys)
+        scratch.partition(dim - k, axis=1)
+        threshold = scratch[:, dim - k : dim - k + 1]
+        # Fast path: the k-th largest value itself always ties with the
+        # threshold, so ``>=`` selects exactly k per row whenever that tie
+        # is unique (the overwhelmingly common case for continuous feature
+        # maps) — and then equals the stable lowest-column tie fill.
+        np.greater_equal(keys, threshold, out=out)
+        if (out.sum(axis=1, keepdims=True) == k).all():
+            return out
+        # Duplicated threshold values: redo with the exact cumulative fill.
+        np.greater(keys, threshold, out=out)
+        deficit = k - out.sum(axis=1, keepdims=True)
+        ties = workspace.buffer(slot + ".ties", keys.shape, dtype=bool)
+        np.equal(keys, threshold, out=ties)
+        running = workspace.buffer(slot + ".csum", keys.shape, dtype=np.int64)
+        np.cumsum(ties, axis=1, out=running)
+        fill = workspace.buffer(slot + ".fill", keys.shape, dtype=bool)
+        np.less_equal(running, deficit, out=fill)
+        np.logical_and(ties, fill, out=fill)
+        np.logical_or(out, fill, out=out)
+        return out
+
+    def topk_mask(self, x, k, out=None, workspace=None, slot="topk"):
+        if out is not None and workspace is not None:
+            return self._stable_topk_mask_into(x, k, out, workspace, slot)
+        result = self._stable_topk_mask(x, k)
+        if out is None:
+            return result
+        np.copyto(out, result)
+        return out
 
     def topk_columns(self, x, k):
         n_rows, dim = x.shape
@@ -392,6 +492,21 @@ class ScipyBackend(VectorizedBackend):
         """Release every cached scipy matrix (and the pinned CSR buffers)."""
         self._csr_cache.clear()
 
+    def release(self, matrices) -> int:
+        """Drop only the cached wrappers of the given CSR matrices.
+
+        Keys by the same buffer identities as :meth:`_matrix`, so wrappers
+        for other graphs — the full graph, surviving subgraph-pool slots —
+        stay warm. The subgraph pool's LRU eviction calls this instead of
+        :meth:`clear_cache`.
+        """
+        dropped = 0
+        for matrix in matrices:
+            key = (id(matrix.indptr), id(matrix.indices), id(matrix.data))
+            if self._csr_cache.pop(key, None) is not None:
+                dropped += 1
+        return dropped
+
     def cache_info(self) -> Dict[str, int]:
         return {"csr_entries": len(self._csr_cache)}
 
@@ -406,11 +521,31 @@ class ScipyBackend(VectorizedBackend):
         self._csr_cache[key] = (matrix, (indptr, indices, data), key, shape)
         return matrix
 
-    def spmm_csr(self, indptr, indices, data, x, n_rows):
+    def spmm_csr(self, indptr, indices, data, x, n_rows, out=None):
         if x.ndim > 2:
-            return super().spmm_csr(indptr, indices, data, x, n_rows)
+            return super(ScipyBackend, self).spmm_csr(
+                indptr, indices, data, x, n_rows, out=out
+            )
         matrix = self._matrix(indptr, indices, data, (n_rows, x.shape[0]))
-        return np.asarray(matrix @ x, dtype=np.float64)
+        if out is None:
+            return np.asarray(matrix @ x, dtype=np.float64)
+        if (
+            _scipy_sparsetools is not None
+            and x.flags.c_contiguous
+            and out.flags.c_contiguous
+        ):
+            # csr_matvecs accumulates ``out += A @ X`` row-sequentially —
+            # the exact kernel ``matrix @ x`` dispatches to, minus the
+            # fresh result allocation — so values stay bit-identical.
+            out[...] = 0.0
+            _scipy_sparsetools.csr_matvecs(
+                n_rows, x.shape[0], x.shape[1],
+                matrix.indptr, matrix.indices, matrix.data,
+                x.ravel(), out.ravel(),
+            )
+            return out
+        np.copyto(out, matrix @ x)  # pragma: no cover - contiguity fallback
+        return out
 
     def spgemm_cbsr(self, indptr, indices, data, sp_data, sp_index, dim_origin, n_rows):
         # Row-wise-product SpGEMM as a compiled sparse x sparse product:
@@ -529,10 +664,26 @@ def _check_segment_args(values, segment_ids, n_segments):
     return values, segment_ids
 
 
-def segment_sum(values, segment_ids, n_segments: int) -> np.ndarray:
-    """``out[s] = sum of values[i] over i with segment_ids[i] == s``."""
+def _check_out(out, shape) -> Optional[np.ndarray]:
+    if out is None:
+        return None
+    if not isinstance(out, np.ndarray) or out.dtype != np.float64:
+        raise ValueError("out must be a float64 ndarray")
+    if out.shape != tuple(shape):
+        raise ValueError(f"out has shape {out.shape}, expected {tuple(shape)}")
+    return out
+
+
+def segment_sum(values, segment_ids, n_segments: int, out=None) -> np.ndarray:
+    """``out[s] = sum of values[i] over i with segment_ids[i] == s``.
+
+    With ``out`` given, the result is written into it (and returned); the
+    reference backend accumulates there directly, making it the oracle for
+    the buffer-reusing training hot path.
+    """
     values, segment_ids = _check_segment_args(values, segment_ids, n_segments)
-    return _ACTIVE.segment_sum(values, segment_ids, n_segments)
+    out = _check_out(out, (n_segments,) + values.shape[1:])
+    return _ACTIVE.segment_sum(values, segment_ids, n_segments, out=out)
 
 
 def segment_max(
@@ -568,17 +719,28 @@ def gather_scale(table, indices, scale=None) -> np.ndarray:
     return _ACTIVE.gather_scale(table, indices, scale)
 
 
-def spmm_csr(indptr, indices, data, x, n_rows: int) -> np.ndarray:
+def spmm_csr(indptr, indices, data, x, n_rows: int, out=None) -> np.ndarray:
     """CSR sparse-times-dense: ``out[i] = sum_e data[e] * x[indices[e]]``
     over the entries ``e`` of row ``i`` — the SpMM segment-reduction
-    dataflow every aggregation kernel in the system rides."""
+    dataflow every aggregation kernel in the system rides.
+
+    ``out``, when given, must be a float64 array of the result shape; the
+    product is written there and returned, letting the training hot path
+    aggregate into workspace-planned buffers instead of fresh arrays.
+    """
     x = np.asarray(x, dtype=np.float64)
     indptr = np.asarray(indptr, dtype=np.int64)
     indices = np.asarray(indices, dtype=np.int64)
     data = np.asarray(data, dtype=np.float64)
     if x.ndim == 1:
-        return _ACTIVE.spmm_csr(indptr, indices, data, x[:, None], n_rows)[:, 0]
-    return _ACTIVE.spmm_csr(indptr, indices, data, x, n_rows)
+        out = _check_out(out, (n_rows,))
+        column = None if out is None else out[:, None]
+        result = _ACTIVE.spmm_csr(
+            indptr, indices, data, x[:, None], n_rows, out=column
+        )[:, 0]
+        return result if out is None else out
+    out = _check_out(out, (n_rows,) + x.shape[1:])
+    return _ACTIVE.spmm_csr(indptr, indices, data, x, n_rows, out=out)
 
 
 def spgemm_cbsr(
@@ -634,9 +796,35 @@ def _check_topk_args(x, k: int, op_name: str) -> np.ndarray:
     return x
 
 
-def topk_mask(x, k: int) -> np.ndarray:
-    """Boolean mask of the ``k`` largest values per row (ties → lower column)."""
-    return _ACTIVE.topk_mask(_check_topk_args(x, k, "topk_mask"), k)
+def topk_mask(x, k: int, out=None, workspace=None, slot: str = "topk") -> np.ndarray:
+    """Boolean mask of the ``k`` largest values per row (ties → lower column).
+
+    ``out`` (a bool array of ``x``'s shape) receives the mask when given.
+    ``workspace`` — any object with a ``buffer(name, shape, dtype)`` method,
+    normally :class:`repro.tensor.workspace.Workspace` — additionally
+    routes the selection's internal scratch through reusable slots keyed by
+    ``slot``, making steady-state MaxK selection allocation-free on the
+    vectorized backends.
+    """
+    x = _check_topk_args(x, k, "topk_mask")
+    if out is not None and (
+        not isinstance(out, np.ndarray)
+        or out.dtype != np.bool_
+        or out.shape != x.shape
+    ):
+        raise ValueError("out must be a bool ndarray of x's shape")
+    return _ACTIVE.topk_mask(x, k, out=out, workspace=workspace, slot=slot)
+
+
+def release(matrices) -> int:
+    """Drop the active backend's cached state for the given CSR matrices.
+
+    The per-graph counterpart of ``get_backend().clear_cache()``: only the
+    wrappers keyed by these matrices' buffers are dropped, so every other
+    graph's compiled state stays warm. Returns the number of entries
+    released (0 on stateless backends).
+    """
+    return _ACTIVE.release(matrices)
 
 
 def topk_columns(x, k: int) -> np.ndarray:

@@ -1,9 +1,12 @@
 """From-scratch autograd substrate replacing the PyTorch front-end."""
 
 from .functional import (
+    add_into,
     bce_with_logits,
     cross_entropy,
     dropout,
+    linear_act,
+    linear_maxk,
     log_softmax,
     maxk,
     maxout,
@@ -12,6 +15,7 @@ from .functional import (
     spgemm_agg,
     spmm_agg,
 )
+from .workspace import Workspace
 from .init import kaiming_uniform, xavier_uniform, zeros
 from .segment import (
     exp,
@@ -33,6 +37,10 @@ __all__ = [
     "spmm_agg",
     "spgemm_agg",
     "dropout",
+    "linear_act",
+    "linear_maxk",
+    "add_into",
+    "Workspace",
     "sigmoid",
     "log_softmax",
     "cross_entropy",

@@ -31,7 +31,156 @@ __all__ = [
     "log_softmax",
     "cross_entropy",
     "bce_with_logits",
+    "linear_act",
+    "linear_maxk",
+    "add_into",
 ]
+
+
+#: Activations the fused linear kernels accept.
+_FUSED_ACTIVATIONS = ("none", "relu", "maxk")
+
+
+def _taker(workspace, slot: str):
+    """Buffer factory: workspace slots when planned, fresh arrays otherwise."""
+    if workspace is None:
+        return lambda name, shape, dtype=np.float64: np.empty(shape, dtype=dtype)
+    return lambda name, shape, dtype=np.float64: workspace.buffer(
+        slot + name, shape, dtype
+    )
+
+
+def linear_act(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    activation: str = "none",
+    k: Optional[int] = None,
+    workspace=None,
+    slot: str = "linear",
+) -> Tensor:
+    """Fused ``activation(X @ W + b)`` forward and backward.
+
+    One kernel folds the affine transform, the bias broadcast and the
+    nonlinearity (``none`` / ``relu`` / ``maxk``) into a single pass whose
+    every large intermediate — the pre-activation, the survivor mask, the
+    output, and all three backward products — is written into preplanned
+    buffers via ``out=``. With a :class:`~repro.tensor.workspace.Workspace`
+    the steady-state step therefore performs zero fresh large allocations;
+    without one, plain arrays are allocated but the arithmetic (and hence
+    the training trajectory, bit for bit) is identical to the historical
+    ``act(x @ W + b)`` composition of separate autograd nodes.
+    """
+    if activation not in _FUSED_ACTIVATIONS:
+        raise ValueError(
+            f"activation must be one of {_FUSED_ACTIVATIONS}, got {activation!r}"
+        )
+    if activation == "maxk":
+        if k is None:
+            raise ValueError("the maxk activation needs an explicit k")
+        if not 1 <= k <= weight.shape[1]:
+            raise ValueError(f"k must be in [1, {weight.shape[1]}]")
+    take = _taker(workspace, slot)
+    n = x.shape[0]
+    d_out = weight.shape[1]
+
+    y = take(".y", (n, d_out))
+    np.matmul(x.data, weight.data, out=y)
+    if bias is not None:
+        y += bias.data
+
+    # The pre-activation is not needed once the survivor mask exists (the
+    # backward pass only reads the mask and the layer input), so the
+    # nonlinearity is applied in place over ``y`` — one buffer, one pass.
+    if activation == "relu":
+        mask = take(".mask", y.shape, bool)
+        np.greater(y, 0.0, out=mask)
+        np.maximum(y, 0.0, out=y)
+        h = y
+    elif activation == "maxk":
+        from ..sparse import ops
+
+        mask = take(".mask", y.shape, bool)
+        ops.topk_mask(y, k, out=mask, workspace=workspace, slot=slot + ".topk")
+        # y * mask, then + 0.0 to normalise dropped entries to +0.0 —
+        # bit-identical to the historical ``np.where(mask, y, 0.0)``.
+        np.multiply(y, mask, out=y)
+        y += 0.0
+        h = y
+    else:
+        mask = None
+        h = y
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad):
+        grad = np.asarray(grad, dtype=np.float64)
+        if mask is None:
+            grad_y = grad
+        elif activation == "relu":
+            grad_y = take(".gy", grad.shape)
+            np.multiply(grad, mask, out=grad_y)
+        else:  # maxk routes gradient through the surviving positions only
+            # grad * mask, + 0.0 to normalise dropped entries to +0.0 —
+            # bit-identical to ``np.where(mask, grad, 0.0)`` and ~5x
+            # faster than a masked copy.
+            grad_y = take(".gy", grad.shape)
+            np.multiply(grad, mask, out=grad_y)
+            grad_y += 0.0
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_y.sum(axis=0))
+        if weight.requires_grad:
+            grad_w = take(".gw", weight.shape)
+            np.matmul(x.data.T, grad_y, out=grad_w)
+            weight._accumulate(grad_w)
+        if x.requires_grad:
+            grad_x = take(".gx", x.shape)
+            np.matmul(grad_y, weight.data.T, out=grad_x)
+            x._accumulate(grad_x)
+
+    out = Tensor._make(h, parents, backward)
+    if workspace is not None and out.requires_grad:
+        out._grad_buffer = workspace.buffer(slot + ".grad", h.shape)
+    return out
+
+
+def linear_maxk(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    k: int = 1,
+    workspace=None,
+    slot: str = "linear",
+) -> Tensor:
+    """Fused ``maxk(X @ W + b, k)`` — :func:`linear_act` with MaxK folded in."""
+    return linear_act(
+        x, weight, bias, activation="maxk", k=k, workspace=workspace, slot=slot
+    )
+
+
+def add_into(a: Tensor, b: Tensor, workspace=None, slot: str = "add") -> Tensor:
+    """Elementwise ``a + b`` for equal shapes, written into a planned buffer.
+
+    The backward pass forwards the incoming gradient to both parents
+    without materialising temporaries (each parent copies it into its own
+    grad buffer), unlike the generic broadcasting ``Tensor.__add__``.
+    """
+    if a.shape != b.shape:
+        raise ValueError("add_into requires equal shapes (no broadcasting)")
+    take = _taker(workspace, slot)
+    data = take(".out", a.shape)
+    np.add(a.data, b.data, out=data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad)
+        if b.requires_grad:
+            b._accumulate(grad)
+
+    out = Tensor._make(data, (a, b), backward)
+    if workspace is not None and out.requires_grad:
+        out._grad_buffer = workspace.buffer(slot + ".grad", data.shape)
+    return out
 
 
 def relu(x: Tensor) -> Tensor:
@@ -120,7 +269,13 @@ def spgemm_agg(adj: CSRMatrix, x: Tensor, k: int) -> Tensor:
     return Tensor._make(out, (x,), backward)
 
 
-def spmm_agg(adj: CSRMatrix, x: Tensor, adj_t: Optional[CSRMatrix] = None) -> Tensor:
+def spmm_agg(
+    adj: CSRMatrix,
+    x: Tensor,
+    adj_t: Optional[CSRMatrix] = None,
+    workspace=None,
+    slot: str = "spmm",
+) -> Tensor:
     """Feature aggregation ``A @ X`` with autograd.
 
     Parameters
@@ -134,17 +289,37 @@ def spmm_agg(adj: CSRMatrix, x: Tensor, adj_t: Optional[CSRMatrix] = None) -> Te
         omitted, it is built on first use and cached on the ``adj`` object,
         matching the paper's zero-extra-storage observation that the CSC view
         of ``A^T`` shares buffers with the CSR of ``A``.
+    workspace / slot:
+        Optional :class:`~repro.tensor.workspace.Workspace` routing the
+        forward product, the backward product and the incoming gradient
+        into planned ``out=`` buffers (zero fresh large allocations in
+        steady state).
     """
     if adj_t is None:
         adj_t = _cached_transpose(adj)
 
-    out = adj.matmul_dense(x.data)
+    take = _taker(workspace, slot)
+    if workspace is None:
+        data = adj.matmul_dense(x.data)
+    else:
+        data = adj.matmul_dense(
+            x.data, out=take(".out", (adj.n_rows,) + x.data.shape[1:])
+        )
 
     def backward(grad):
-        if x.requires_grad:
+        if not x.requires_grad:
+            return
+        if workspace is None:
             x._accumulate(adj_t.matmul_dense(grad))
+        else:
+            x._accumulate(
+                adj_t.matmul_dense(np.asarray(grad), out=take(".gx", x.shape))
+            )
 
-    return Tensor._make(out, (x,), backward)
+    out = Tensor._make(data, (x,), backward)
+    if workspace is not None and out.requires_grad:
+        out._grad_buffer = workspace.buffer(slot + ".grad", data.shape)
+    return out
 
 
 _TRANSPOSE_CACHE = {}
@@ -159,20 +334,58 @@ def _cached_transpose(adj: CSRMatrix) -> CSRMatrix:
     return cached[1]
 
 
-def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
-    """Inverted dropout; identity when not training or p == 0."""
+def dropout(
+    x: Tensor,
+    p: float,
+    training: bool,
+    rng: np.random.Generator,
+    workspace=None,
+    slot: str = "dropout",
+) -> Tensor:
+    """Inverted dropout; identity when not training or p == 0.
+
+    With a workspace, the uniform draw, the keep mask, the output and the
+    backward product all land in planned buffers (``Generator.random``
+    fills ``out=`` from the same stream it would return, so trajectories
+    match the unplanned path bit for bit).
+    """
     if not 0.0 <= p < 1.0:
         raise ValueError("dropout probability must be in [0, 1)")
     if not training or p == 0.0:
         return x
-    keep = rng.random(x.data.shape) >= p
     scale = 1.0 / (1.0 - p)
+    take = _taker(workspace, slot)
+    if workspace is None:
+        keep = rng.random(x.data.shape) >= p
+        data = np.where(keep, x.data * scale, 0.0)
+    else:
+        draw = take(".draw", x.data.shape)
+        rng.random(out=draw)
+        keep = take(".keep", x.data.shape, bool)
+        np.greater_equal(draw, p, out=keep)
+        # np.where(keep, x * scale, 0.0) with planned buffers: scale, mask
+        # by multiplication, normalise dropped entries to +0.0 — the same
+        # values, no masked copy.
+        data = take(".out", x.data.shape)
+        np.multiply(x.data, scale, out=data)
+        np.multiply(data, keep, out=data)
+        data += 0.0
 
     def backward(grad):
-        if x.requires_grad:
+        if not x.requires_grad:
+            return
+        if workspace is None:
             x._accumulate(grad * keep * scale)
+        else:
+            grad_x = take(".gx", x.data.shape)
+            np.multiply(np.asarray(grad), keep, out=grad_x)
+            grad_x *= scale
+            x._accumulate(grad_x)
 
-    return Tensor._make(np.where(keep, x.data * scale, 0.0), (x,), backward)
+    out = Tensor._make(data, (x,), backward)
+    if workspace is not None and out.requires_grad:
+        out._grad_buffer = workspace.buffer(slot + ".grad", data.shape)
+    return out
 
 
 def sigmoid(x: Tensor) -> Tensor:

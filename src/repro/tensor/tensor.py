@@ -54,7 +54,8 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """An n-d array node in the autograd graph."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "_grad_buffer", "name")
 
     def __init__(
         self,
@@ -69,6 +70,11 @@ class Tensor:
         self.requires_grad = requires_grad and _GRAD_ENABLED
         self._parents = _parents if self.requires_grad else ()
         self._backward = _backward if self.requires_grad else None
+        #: Optional preallocated storage adopted by the first gradient
+        #: accumulation (set by optimizers for parameters and by the
+        #: workspace-planned fused ops for intermediates) so steady-state
+        #: backward passes copy into reused memory instead of allocating.
+        self._grad_buffer: Optional[np.ndarray] = None
         self.name = name
 
     # ------------------------------------------------------------------
@@ -112,7 +118,12 @@ class Tensor:
     def _accumulate(self, grad: np.ndarray):
         grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
         if self.grad is None:
-            self.grad = grad.copy()
+            buffer = self._grad_buffer
+            if buffer is not None and buffer.shape == self.data.shape:
+                np.copyto(buffer, grad)
+                self.grad = buffer
+            else:
+                self.grad = grad.copy()
         else:
             self.grad += grad
 

@@ -9,6 +9,7 @@ from .checkpoint import (
 from .dataflow import (
     DataFlow,
     FullGraphFlow,
+    MicroBatchedFlow,
     PartitionedFlow,
     SampledFlow,
     SubgraphCache,
@@ -36,6 +37,7 @@ __all__ = [
     "FullGraphFlow",
     "SampledFlow",
     "PartitionedFlow",
+    "MicroBatchedFlow",
     "SubgraphCache",
     "make_flow",
     "Trainer",

@@ -20,13 +20,14 @@ runs the identical optimisation loop over whichever stream it is handed
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, Iterator, Optional, Union
+from typing import Callable, Dict, Iterator, Optional, Tuple, Union
 
 import numpy as np
 
 from ..graphs import (
     Graph,
     Partition,
+    batch_graphs,
     bfs_partition,
     bns_sample,
     edge_sampler,
@@ -41,9 +42,22 @@ __all__ = [
     "FullGraphFlow",
     "SampledFlow",
     "PartitionedFlow",
+    "MicroBatchedFlow",
     "SubgraphCache",
     "make_flow",
 ]
+
+
+def _release_graph(graph: Graph) -> int:
+    """Drop the active backend's cached wrappers for ``graph``'s CSRs.
+
+    The per-graph eviction hook: only the adjacency (and transpose)
+    matrices this graph ever built are released, so the full graph's and
+    surviving pool slots' compiled wrappers stay warm — unlike the
+    wholesale ``clear_cache()`` the pool used before the backend grew
+    :meth:`~repro.sparse.ops.SparseOpsBackend.release`.
+    """
+    return get_backend().release(graph._adj_cache.values())
 
 
 class SubgraphCache:
@@ -51,10 +65,10 @@ class SubgraphCache:
 
     A cached subgraph keeps its CSR adjacency (and transpose) warm across
     epochs, so re-visiting a pool slot skips both the sampler and the
-    adjacency build. Every eviction calls ``get_backend().clear_cache()``:
-    the scipy backend pins CSR buffers per graph, and dropping them with
-    the evicted subgraph keeps pinned memory proportional to the pool,
-    not to the number of batches ever sampled.
+    adjacency build. Every eviction releases *only the evicted subgraph's*
+    CSR wrappers from the active backend (the scipy backend pins CSR
+    buffers per graph), so pinned memory stays proportional to the pool
+    while the full graph and every surviving slot remain warm.
     """
 
     def __init__(self, capacity: int):
@@ -65,6 +79,7 @@ class SubgraphCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.released = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -82,9 +97,23 @@ class SubgraphCache:
         self._entries[key] = subgraph
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            _, evicted = self._entries.popitem(last=False)
             self.evictions += 1
-            get_backend().clear_cache()
+            self.released += _release_graph(evicted)
+
+    def release_all(self) -> int:
+        """Drop every entry, releasing each one's backend wrappers.
+
+        Called when the pool is abandoned wholesale (e.g. the flow moves to
+        a new parent graph) so the dropped subgraphs' pinned CSR wrappers
+        don't outlive them.
+        """
+        dropped = 0
+        while self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            dropped += _release_graph(evicted)
+        self.released += dropped
+        return dropped
 
     def stats(self) -> Dict[str, int]:
         return {
@@ -92,6 +121,7 @@ class SubgraphCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "released": self.released,
         }
 
 
@@ -181,16 +211,50 @@ class SampledFlow(DataFlow):
         # Held strongly, like PartitionedFlow's partition: slots are only
         # meaningful for the graph they were sampled from.
         self._cache_graph: Optional[Graph] = None
+        self._floor_graph: Optional[Graph] = None
+        self._floor = 1
 
     def describe(self) -> str:
         label = self.sampler if isinstance(self.sampler, str) else "custom"
         return f"sampled/{label}x{self.batches_per_epoch}"
 
     # ------------------------------------------------------------------
+    def _labelled_floor(self, graph: Graph) -> int:
+        """Smallest default batch whose expected labelled rows cover the task.
+
+        A uniform batch of ``s`` nodes sees ``s * q`` training hits for a
+        node class occurring at rate ``q``. Single-label tasks only need a
+        training node at all (``q`` = labelled fraction); multi-label tasks
+        (the Yelp / ogbn-proteins masks) need **per-label** handling — every
+        label column must expect at least one *positive* training row, else
+        its BCE column trains on pure negatives (and tiny batches routinely
+        carry no labelled rows at all, making whole epochs NaN). The floor
+        is ``ceil(1 / min_label_rate)`` capped at the graph size; explicit
+        ``sample_size`` requests are honoured unchanged.
+        """
+        if self._floor_graph is graph:
+            return self._floor
+        floor = 1
+        mask = graph.train_mask
+        if mask is not None and graph.labels is not None and np.any(mask):
+            mask = np.asarray(mask, dtype=bool)
+            if graph.multilabel:
+                labels = np.asarray(graph.labels, dtype=np.float64)
+                rates = (labels * mask[:, None]).mean(axis=0)
+                rates = rates[rates > 0]
+                rate = rates.min() if rates.size else mask.mean()
+            else:
+                rate = mask.mean()
+            floor = min(graph.n_nodes, int(np.ceil(1.0 / rate)))
+        self._floor_graph = graph
+        self._floor = floor
+        return floor
+
     def _size(self, graph: Graph) -> int:
         if self.sample_size is not None:
             return min(self.sample_size, graph.n_nodes)
-        return max(1, graph.n_nodes // max(2 * self.batches_per_epoch, 2))
+        default = max(1, graph.n_nodes // max(2 * self.batches_per_epoch, 2))
+        return max(default, self._labelled_floor(graph))
 
     def _sample(self, graph: Graph, slot: int) -> Graph:
         rng = np.random.default_rng((self.seed, slot))
@@ -227,6 +291,7 @@ class SampledFlow(DataFlow):
 
     def batches(self, graph: Graph, epoch: int) -> Iterator[Graph]:
         if self._cache_graph is not graph:
+            self.cache.release_all()
             self.cache = SubgraphCache(self.cache.capacity)
             self._cache_graph = graph
         for index in range(self.batches_per_epoch):
@@ -234,7 +299,12 @@ class SampledFlow(DataFlow):
             if self.pool_size is None:
                 # Unpooled streams never revisit a slot — caching would
                 # only pin dead subgraphs and thrash the backend cache.
-                yield self._sample(graph, step)
+                # Once the consumer's step finishes (the yield returns),
+                # drop the one-shot subgraph's backend wrappers too, or a
+                # caching backend pins memory per batch ever sampled.
+                subgraph = self._sample(graph, step)
+                yield subgraph
+                _release_graph(subgraph)
                 continue
             slot = step % self.pool_size
             subgraph = self.cache.get(slot)
@@ -242,6 +312,82 @@ class SampledFlow(DataFlow):
                 subgraph = self._sample(graph, slot)
                 self.cache.put(slot, subgraph)
             yield subgraph
+
+
+class MicroBatchedFlow(DataFlow):
+    """Stack consecutive batches of an inner flow into merged micro-steps.
+
+    Every group of ``size`` subgraphs the inner flow yields is replaced by
+    their disjoint union (:func:`repro.graphs.batch_graphs`): the engine
+    then runs the group's dense transforms — dropout, the fused
+    linear/bias/activation kernels, the classifier — as **one pass over the
+    concatenated rows with shared weights**, while the block-diagonal
+    adjacency scatters aggregation back per subgraph (no cross-subgraph
+    edges). One optimizer step covers the group, trading step count for
+    arithmetic intensity exactly like gradient-accumulation micro-batching.
+
+    Merged graphs are cached (LRU over member identity) so a pooled inner
+    flow keeps merged CSR adjacencies warm across epochs; evictions release
+    only the evicted union's backend wrappers.
+    """
+
+    name = "micro"
+
+    def __init__(self, inner: DataFlow, size: int, cache_size: int = 8):
+        if size < 1:
+            raise ValueError("micro-batch size must be >= 1")
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        self.inner = inner
+        self.size = size
+        self.cache_size = cache_size
+        self._merged: "OrderedDict[Tuple[int, ...], Tuple[list, Graph]]" = (
+            OrderedDict()
+        )
+        self._merge_graph: Optional[Graph] = None
+        self.merge_hits = 0
+        self.merge_misses = 0
+
+    def describe(self) -> str:
+        return f"{self.inner.describe()}+micro{self.size}"
+
+    def _merge(self, group: list) -> Graph:
+        if len(group) == 1:
+            return group[0]
+        key = tuple(id(member) for member in group)
+        entry = self._merged.get(key)
+        # The stored member list pins every keyed graph alive, so an id
+        # key can only hit while its members are the original objects —
+        # a plain dictionary hit is already identity-verified.
+        if entry is not None:
+            self.merge_hits += 1
+            self._merged.move_to_end(key)
+            return entry[1]
+        self.merge_misses += 1
+        merged = batch_graphs(group)
+        self._merged[key] = (list(group), merged)
+        self._merged.move_to_end(key)
+        while len(self._merged) > self.cache_size:
+            _, (_, evicted) = self._merged.popitem(last=False)
+            _release_graph(evicted)
+        return merged
+
+    def batches(self, graph: Graph, epoch: int) -> Iterator[Graph]:
+        if self._merge_graph is not graph:
+            # New parent graph: the pooled members are gone, so drop (and
+            # release) every merged union built from them.
+            while self._merged:
+                _, (_, evicted) = self._merged.popitem(last=False)
+                _release_graph(evicted)
+            self._merge_graph = graph
+        group: list = []
+        for subgraph in self.inner.batches(graph, epoch):
+            group.append(subgraph)
+            if len(group) == self.size:
+                yield self._merge(group)
+                group = []
+        if group:  # trailing partial group still trains
+            yield self._merge(group)
 
 
 class PartitionedFlow(DataFlow):
@@ -287,14 +433,24 @@ class PartitionedFlow(DataFlow):
             )
 
 
-def make_flow(flow: str, **kwargs) -> DataFlow:
-    """Build a flow by CLI name: ``full`` / ``sampled`` / ``partitioned``."""
+def make_flow(flow: str, micro_batch: int = 1, **kwargs) -> DataFlow:
+    """Build a flow by CLI name: ``full`` / ``sampled`` / ``partitioned``.
+
+    ``micro_batch > 1`` wraps the flow in a :class:`MicroBatchedFlow` that
+    merges that many consecutive batches into one fused dense pass.
+    """
+    if micro_batch < 1:
+        raise ValueError("micro_batch must be >= 1")
     if flow == "full":
-        return FullGraphFlow()
-    if flow == "sampled":
-        return SampledFlow(**kwargs)
-    if flow == "partitioned":
-        return PartitionedFlow(**kwargs)
-    raise ValueError(
-        f"unknown flow {flow!r}; options: ['full', 'sampled', 'partitioned']"
-    )
+        built = FullGraphFlow()
+    elif flow == "sampled":
+        built = SampledFlow(**kwargs)
+    elif flow == "partitioned":
+        built = PartitionedFlow(**kwargs)
+    else:
+        raise ValueError(
+            f"unknown flow {flow!r}; options: ['full', 'sampled', 'partitioned']"
+        )
+    if micro_batch > 1:
+        built = MicroBatchedFlow(built, micro_batch)
+    return built

@@ -105,12 +105,14 @@ class TestEngineSampledFlow:
         assert first[0] is second[0] and first[1] is second[1]
         assert flow.cache.hits == 2
 
-    def test_eviction_clears_backend_cache(self, graph, monkeypatch):
-        calls = []
+    def test_eviction_releases_only_evicted_graph(self, graph, monkeypatch):
+        released = []
 
         class _Spy:
-            def clear_cache(self):
-                calls.append(1)
+            def release(self, matrices):
+                matrices = list(matrices)
+                released.append(matrices)
+                return len(matrices)
 
         import repro.training.dataflow as dataflow
 
@@ -118,11 +120,37 @@ class TestEngineSampledFlow:
         # An explicit cache bound below the pool is honoured and evicts.
         flow = SampledFlow(sampler="node", sample_size=40, seed=0,
                            pool_size=5, cache_size=2)
+        seen = []
         for epoch in range(5):
-            list(flow.batches(graph, epoch))
+            seen.extend(flow.batches(graph, epoch))
         assert flow.cache.evictions == 3
-        assert len(calls) == 3
-        assert len(flow.cache) == 2
+        assert len(released) == 3
+        # Each release passes the evicted subgraph's cached CSRs, nothing
+        # else (surviving slots and the full graph stay warm).
+        for matrices, evicted in zip(released, seen):
+            assert all(any(m is c for c in evicted._adj_cache.values())
+                       for m in matrices)
+
+    def test_scipy_eviction_keeps_survivors_warm(self, graph):
+        """End to end: evicting one slot drops only its wrappers."""
+        from repro.sparse import ops
+
+        if "scipy" not in ops.available_backends():
+            pytest.skip("scipy backend unavailable")
+        with ops.use_backend("scipy"):
+            backend = ops.get_backend()
+            backend.clear_cache()
+            flow = SampledFlow(sampler="node", sample_size=40, seed=0,
+                               pool_size=3, cache_size=2)
+            engine = make_engine(graph, flow)
+            engine.fit(3, eval_every=3)
+            # The full graph's wrappers must have survived the evictions.
+            full_keys = [
+                (id(m.indptr), id(m.indices), id(m.data))
+                for m in graph._adj_cache.values()
+            ]
+            assert flow.cache.evictions > 0
+            assert any(key in backend._csr_cache for key in full_keys)
 
     def test_cache_resets_on_new_graph(self, graph):
         """Pooled slots are per-graph: switching graphs must not serve
@@ -270,6 +298,17 @@ class TestCliTrain:
         ]) == 0
         assert "sampled/nodex2" in capsys.readouterr().out
 
+    def test_train_command_micro_batched(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "train", "--dataset", "Flickr", "--epochs", "2",
+            "--flow", "sampled", "--sampler", "node",
+            "--batches-per-epoch", "4", "--sample-size", "80",
+            "--pool-size", "4", "--micro-batch", "2",
+        ]) == 0
+        assert "sampled/nodex4+micro2" in capsys.readouterr().out
+
     def test_train_command_partitioned(self, capsys):
         from repro.cli import main
 
@@ -278,3 +317,235 @@ class TestCliTrain:
             "--flow", "partitioned", "--n-parts", "2",
         ]) == 0
         assert "partitioned/2" in capsys.readouterr().out
+
+
+class TestMicroBatchedFlow:
+    def test_merges_groups_and_trains(self, graph):
+        from repro.training import MicroBatchedFlow
+
+        inner = SampledFlow(sampler="node", batches_per_epoch=4,
+                            sample_size=30, pool_size=4, seed=0)
+        flow = MicroBatchedFlow(inner, 2)
+        assert flow.describe() == "sampled/nodex4+micro2"
+        result = make_engine(graph, flow).fit(3, eval_every=3)
+        # 4 inner batches per epoch -> 2 merged steps per epoch.
+        assert len(result.batch_losses) == 6
+        assert all(size == 60 for size in result.batch_sizes)
+        assert result.final_test > 0
+
+    def test_merged_graphs_are_block_diagonal_unions(self, graph):
+        from repro.training import MicroBatchedFlow
+
+        inner = SampledFlow(sampler="node", batches_per_epoch=2,
+                            sample_size=25, pool_size=2, seed=0)
+        flow = MicroBatchedFlow(inner, 2)
+        members = list(inner.batches(graph, 0))
+        merged = list(flow.batches(graph, 0))[0]
+        assert merged.n_nodes == sum(m.n_nodes for m in members)
+        assert merged.n_edges == sum(m.n_edges for m in members)
+        np.testing.assert_array_equal(
+            merged.features,
+            np.concatenate([np.asarray(m.features) for m in members]),
+        )
+
+    def test_merge_cache_serves_pooled_repeats(self, graph):
+        from repro.training import MicroBatchedFlow
+
+        inner = SampledFlow(sampler="node", batches_per_epoch=2,
+                            sample_size=25, pool_size=2, seed=0)
+        flow = MicroBatchedFlow(inner, 2)
+        first = list(flow.batches(graph, 0))[0]
+        second = list(flow.batches(graph, 1))[0]  # same pooled slots
+        assert second is first
+        assert flow.merge_hits == 1 and flow.merge_misses == 1
+
+    def test_trailing_partial_group_still_trains(self, graph):
+        from repro.training import MicroBatchedFlow
+
+        inner = SampledFlow(sampler="node", batches_per_epoch=3,
+                            sample_size=25, pool_size=3, seed=0)
+        flow = MicroBatchedFlow(inner, 2)
+        merged = list(flow.batches(graph, 0))
+        assert [m.n_nodes for m in merged] == [50, 25]
+
+    def test_make_flow_micro_batch_wrapping(self):
+        from repro.training import MicroBatchedFlow
+        from repro.training.dataflow import make_flow
+
+        flow = make_flow("sampled", micro_batch=3, sampler="node")
+        assert isinstance(flow, MicroBatchedFlow) and flow.size == 3
+        assert make_flow("sampled", sampler="node").name == "sampled"
+        with pytest.raises(ValueError):
+            make_flow("sampled", micro_batch=0)
+
+    def test_validation(self):
+        from repro.training import MicroBatchedFlow
+
+        with pytest.raises(ValueError):
+            MicroBatchedFlow(SampledFlow(), 0)
+        with pytest.raises(ValueError):
+            MicroBatchedFlow(SampledFlow(), 2, cache_size=0)
+
+    def test_bitwise_equal_to_manual_batching(self, graph):
+        """One merged step equals training on the explicit disjoint union."""
+        from repro.graphs import batch_graphs
+        from repro.training import MicroBatchedFlow
+
+        inner = SampledFlow(sampler="node", batches_per_epoch=2,
+                            sample_size=30, pool_size=2, seed=0)
+        members = list(inner.batches(graph, 0))
+        manual = batch_graphs(members)
+
+        engine_a = make_engine(graph, MicroBatchedFlow(inner, 2), seed=0)
+        loss_a = engine_a.train_epoch(0)
+
+        class _Fixed:
+            name = "fixed"
+
+            def batches(self, _graph, _epoch):
+                yield manual
+
+            def describe(self):
+                return "fixed"
+
+        engine_b = make_engine(graph, _Fixed(), seed=0)
+        loss_b = engine_b.train_epoch(0)
+        assert loss_a == loss_b
+
+
+class TestSampledFlowSizeHeuristics:
+    """The labelled-coverage floor of the default batch size (Yelp masks)."""
+
+    def _multilabel_graph(self, rare_rate=0.02, train_fraction=0.25, seed=0):
+        rng = np.random.default_rng(seed)
+        graph = sbm_graph(200, 4, 6.0, seed=seed).to_undirected()
+        from repro.graphs import attach_multilabel_task
+
+        attach_multilabel_task(graph, n_features=6, n_labels=3, seed=seed)
+        # Plant a rare label column and a sparse training mask.
+        labels = np.asarray(graph.labels)
+        labels[:, 2] = rng.random(graph.n_nodes) < rare_rate
+        mask = rng.random(graph.n_nodes) < train_fraction
+        mask[np.where(labels[:, 2])[0][:1]] = True  # keep it learnable
+        graph.labels = labels
+        graph.train_mask = mask
+        return graph
+
+    def test_explicit_sample_size_is_honoured(self, graph):
+        flow = SampledFlow(sampler="node", sample_size=7)
+        assert flow._size(graph) == 7
+
+    def test_single_label_floor_covers_training_mask(self, graph):
+        sparse = sbm_graph(200, 4, 6.0, seed=1).to_undirected()
+        attach_classification_task(sparse, n_features=6, seed=1)
+        mask = np.zeros(200, dtype=bool)
+        mask[:10] = True  # 5% labelled
+        sparse.train_mask = mask
+        flow = SampledFlow(sampler="node", batches_per_epoch=50)
+        # Old heuristic: 200 // 100 = 2 nodes; the floor lifts it to the
+        # expected-one-training-node size of 1 / 0.05 = 20.
+        assert flow._size(sparse) == 20
+
+    def test_multilabel_floor_uses_rarest_label(self):
+        graph = self._multilabel_graph()
+        flow = SampledFlow(sampler="node", batches_per_epoch=50)
+        rate = (
+            np.asarray(graph.labels)
+            * np.asarray(graph.train_mask)[:, None]
+        ).mean(axis=0)
+        expected = int(np.ceil(1.0 / rate[rate > 0].min()))
+        assert flow._size(graph) == min(graph.n_nodes, expected)
+        assert flow._size(graph) > 200 // 100
+
+    def test_floor_caches_per_graph(self, graph):
+        flow = SampledFlow(sampler="node")
+        assert flow._size(graph) == flow._size(graph)
+        assert flow._floor_graph is graph
+
+    def test_unlabelled_graph_keeps_plain_heuristic(self):
+        plain = sbm_graph(100, 3, 5.0, seed=2).to_undirected()
+        flow = SampledFlow(sampler="node", batches_per_epoch=2)
+        assert flow._size(plain) == 25
+
+    def test_sampled_flow_trains_multilabel_without_nan_epochs(self):
+        """Regression: Yelp-style masks with many small default batches."""
+        graph = self._multilabel_graph()
+        flow = SampledFlow(sampler="node", batches_per_epoch=6, seed=0,
+                           pool_size=6)
+        config = GNNConfig(
+            model_type="sage", in_features=6, hidden=8,
+            out_features=int(np.asarray(graph.labels).shape[1]), n_layers=2,
+            nonlinearity="maxk", k=2,
+        )
+        engine = Engine(MaxKGNN(graph, config, seed=0), graph, flow, lr=0.01)
+        result = engine.fit(4, eval_every=2)
+        assert np.isfinite(result.train_losses).all()
+        assert len(result.batch_losses) >= 4
+
+
+class TestCacheReleaseOnReset:
+    def test_graph_switch_releases_old_pool(self, graph, monkeypatch):
+        released = []
+
+        class _Spy:
+            def release(self, matrices):
+                matrices = list(matrices)
+                released.append(matrices)
+                return len(matrices)
+
+        import repro.training.dataflow as dataflow
+
+        monkeypatch.setattr(dataflow, "get_backend", lambda: _Spy())
+        flow = SampledFlow(sampler="node", batches_per_epoch=2,
+                           sample_size=40, seed=0, pool_size=2)
+        list(flow.batches(graph, 0))
+        assert len(flow.cache) == 2
+        other = sbm_graph(100, 3, 6.0, seed=7).to_undirected()
+        attach_classification_task(other, n_features=8, seed=7)
+        list(flow.batches(other, 0))
+        # Both of the abandoned pool's subgraphs were released.
+        assert len(released) >= 2
+
+    def test_micro_flow_releases_merged_on_graph_switch(self, graph,
+                                                        monkeypatch):
+        released = []
+
+        class _Spy:
+            def release(self, matrices):
+                released.append(list(matrices))
+                return 0
+
+        import repro.training.dataflow as dataflow
+
+        from repro.training import MicroBatchedFlow
+
+        inner = SampledFlow(sampler="node", batches_per_epoch=2,
+                            sample_size=25, pool_size=2, seed=0)
+        flow = MicroBatchedFlow(inner, 2)
+        list(flow.batches(graph, 0))
+        assert len(flow._merged) == 1
+        monkeypatch.setattr(dataflow, "get_backend", lambda: _Spy())
+        other = sbm_graph(100, 3, 6.0, seed=7).to_undirected()
+        attach_classification_task(other, n_features=8, seed=7)
+        list(flow.batches(other, 0))
+        # The old parent graph's merged union was dropped and released.
+        assert released and len(flow._merged) == 1
+
+    def test_unpooled_stream_releases_each_batch(self, graph, monkeypatch):
+        released = []
+
+        class _Spy:
+            def release(self, matrices):
+                released.append(list(matrices))
+                return 0
+
+        import repro.training.dataflow as dataflow
+
+        monkeypatch.setattr(dataflow, "get_backend", lambda: _Spy())
+        flow = SampledFlow(sampler="node", batches_per_epoch=3,
+                           sample_size=40, seed=0)  # pool_size=None
+        for epoch in range(2):
+            for subgraph in flow.batches(graph, epoch):
+                subgraph.adjacency("sage")  # simulate one training step
+        # Every one-shot subgraph was released right after its step.
+        assert len(released) == 6
