@@ -3,9 +3,11 @@
 Every benchmark regenerates one paper table/figure, times the regeneration
 via pytest-benchmark, asserts the paper's qualitative claims, and writes the
 rendered table to ``benchmarks/results/<artifact>.txt`` so the output
-survives pytest's capture.
+survives pytest's capture. Machine-readable results additionally land in
+JSON files via :func:`record_json` (e.g. ``results/BENCH_pipeline.json``).
 """
 
+import json
 from pathlib import Path
 
 import pytest
@@ -37,5 +39,30 @@ def record_result(results_dir):
             path.write_text(text + "\n")
         # Also echo to stdout for -s runs.
         print(f"\n=== {name} ===\n{text}")
+
+    return _record
+
+
+@pytest.fixture
+def record_json(results_dir):
+    """Merge one benchmark's machine-readable payload into a JSON artifact.
+
+    ``record_json(file_stem, key, payload)`` updates ``results/<stem>.json``
+    under ``key`` (read–update–write, so independent tests and repeated
+    runs compose). Smoke runs print but, like :func:`record_result`, do not
+    clobber the committed full-protocol artifacts.
+    """
+    smoke = perf_smoke_enabled()
+
+    def _record(stem: str, key: str, payload) -> None:
+        print(f"\n=== {stem}:{key} ===\n{json.dumps(payload, indent=2)}")
+        if smoke:
+            return
+        path = results_dir / f"{stem}.json"
+        merged = {}
+        if path.exists():
+            merged = json.loads(path.read_text())
+        merged[key] = payload
+        path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
 
     return _record

@@ -24,6 +24,13 @@ backend-aware: the compiled scipy SpMM frees the dense work the fused
 kernels eliminate, while the pure-numpy ``vectorized`` backend is
 bincount-bound and only asserted not to regress. Numbers land in
 ``benchmarks/results/dense_hotpath.txt`` and ``benchmarks/PERF.md``.
+
+Run this file *before* allocation-heavy benchmarks (the CI smoke command
+and the suite's alphabetical collection both do): part of the fused
+path's edge is avoiding the composed ops' large per-op allocations, and
+a process that has already freed big buffer piles warms glibc's free
+lists, roughly halving the composed arm's allocator cost and compressing
+the measured gap.
 """
 
 import gc
@@ -221,20 +228,29 @@ def test_fused_hotpath_speedup_and_bit_identity(benchmark, record_result):
     assert data["micro_acc"] > data["plain_acc"] - VARIANCE_BAND
 
 
+#: Hard ceiling on a steady-state fused step's tracemalloc peak growth,
+#: with the whole step covered — including the loss stage, fused since
+#: PR 4 (fused_ce). Measured ~53 KB on scipy / ~62 KB on vectorized (the
+#: blocked SpMM made the scipy-less path allocation-disciplined too);
+#: the dominant leftovers are numpy's per-call broadcast buffers, shrunk
+#: via np.setbufsize in repro.tensor.workspace.
+ALLOC_CEILING_BYTES = 64 * 1024
+
+
 @pytest.mark.slow
 def test_steady_state_step_allocates_nothing_large(record_result):
     """Allocation-regression probe for the workspace-planned step.
 
     After warm-up, one sampled-flow training step through the fused hot
-    path must keep tracemalloc peak growth under a single ``(rows, hidden)``
-    layer buffer — the composed ops churn through tens of them — and the
-    workspace must report zero fresh backing allocations.
+    path — dense kernels, aggregation *and the loss stage* — must keep
+    tracemalloc peak growth under :data:`ALLOC_CEILING_BYTES` (the
+    composed ops churn through megabytes), and the workspace must report
+    zero fresh backing allocations. Since PR 4 this holds scipy-less as
+    well: the blocked gather–scatter SpMM aggregates through backend-owned
+    scratch instead of bincount's per-call accumulators.
     """
-    if get_backend().name != "scipy":
-        pytest.skip(
-            "zero-allocation SpMM needs the compiled scipy out= kernel; "
-            "the pure-numpy backends allocate inside bincount"
-        )
+    if get_backend().name == "reference":
+        pytest.skip("the per-row Python oracle is not an allocation target")
     cfg = TRAINING_CONFIGS[DATASET]
     graph = load_training_dataset(DATASET, seed=0)
     peaks = {}
@@ -268,12 +284,14 @@ def test_steady_state_step_allocates_nothing_large(record_result):
         "dense_hotpath_alloc",
         format_table(
             ["path", "steady-state peak growth (KB)"],
-            [("fused", round(peaks[True] / 1024, 1)),
+            [("fused (incl. fused_ce loss)", round(peaks[True] / 1024, 1)),
              ("composed", round(peaks[False] / 1024, 1)),
+             ("gate", round(ALLOC_CEILING_BYTES / 1024, 1)),
              ("one layer buffer", round(layer_bytes / 1024, 1))],
-        ),
+        )
+        + f"\nbackend: {get_backend().name}",
     )
-    # Fused: less than ~1.25 layer buffers of churn (loss-path smalls);
+    # Fused: the whole step (loss included) stays under the ceiling;
     # composed: tens of layer buffers. Guard both sides of the gap.
-    assert peaks[True] <= 1.25 * layer_bytes, peaks[True]
+    assert peaks[True] <= ALLOC_CEILING_BYTES, peaks[True]
     assert peaks[False] >= 4 * peaks[True], peaks

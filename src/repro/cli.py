@@ -18,6 +18,8 @@ Training runs through the execution engine with a selectable data flow::
         --batches-per-epoch 2 --sample-size 300 --pool-size 8
     python -m repro train --dataset Reddit --flow sampled --sampler node \
         --batches-per-epoch 8 --sample-size 50 --pool-size 8 --micro-batch 8
+    python -m repro train --dataset Reddit --flow sampled --sampler node \
+        --batches-per-epoch 2 --prefetch 2   # pipeline sampling vs training
     python -m repro train --dataset ogbn-products --flow partitioned --n-parts 4
 """
 
@@ -131,22 +133,29 @@ def _run_train(args) -> str:
             sample_size=args.sample_size, walk_length=args.walk_length,
             n_hops=args.n_hops, fanout=args.fanout,
             pool_size=args.pool_size, seed=args.seed,
-            micro_batch=args.micro_batch,
+            micro_batch=args.micro_batch, prefetch=args.prefetch,
         )
     elif args.flow == "partitioned":
         flow = make_flow(
             "partitioned", n_parts=args.n_parts,
             boundary_fraction=args.boundary_fraction, seed=args.seed,
-            micro_batch=args.micro_batch,
+            micro_batch=args.micro_batch, prefetch=args.prefetch,
         )
     else:
-        flow = make_flow("full", micro_batch=args.micro_batch)
+        flow = make_flow(
+            "full", micro_batch=args.micro_batch, prefetch=args.prefetch
+        )
     engine = Engine(
         MaxKGNN(graph, config, seed=args.seed), graph, flow, lr=cfg.lr
     )
     epochs = args.epochs if args.epochs is not None else cfg.epochs
     start = time.perf_counter()
-    result = engine.fit(epochs, eval_every=max(epochs // 4, 1))
+    try:
+        result = engine.fit(epochs, eval_every=max(epochs // 4, 1))
+    finally:
+        close = getattr(flow, "close", None)
+        if close is not None:  # stop a prefetch flow's worker + lookahead
+            close()
     elapsed = time.perf_counter() - start
     lines = [
         f"dataset      {args.dataset} ({graph.n_nodes} nodes, "
@@ -215,6 +224,11 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--micro-batch", type=int, default=1,
                        help="stack this many consecutive batches of the "
                             "chosen flow into one fused dense pass")
+    train.add_argument("--prefetch", type=int, default=0,
+                       help="materialise up to N batches ahead on a "
+                            "background thread (sampling, induction, CSR "
+                            "build, backend registration); trajectories "
+                            "are bit-identical to --prefetch 0")
     train.add_argument("--n-parts", type=int, default=4,
                        help="partitions for --flow partitioned")
     train.add_argument("--boundary-fraction", type=float, default=0.2)

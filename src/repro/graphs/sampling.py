@@ -69,10 +69,38 @@ def edge_sampler(graph: Graph, n_edges: int, seed: SeedLike = 0) -> Graph:
     return induced_subgraph(graph, nodes)
 
 
-def _out_neighbours(graph: Graph) -> Dict[int, List[int]]:
-    table: Dict[int, List[int]] = {}
-    for s, d in zip(graph.src, graph.dst):
-        table.setdefault(int(s), []).append(int(d))
+def _neighbour_table(graph: Graph, direction: str) -> Dict[int, List[int]]:
+    """Adjacency lists (``out``: src→dsts, ``in``: dst→srcs), cached.
+
+    Built vectorised — one stable argsort groups each node's neighbours
+    while preserving edge order, so every list is element-for-element
+    identical to the historical per-edge Python loop (samplers draw from
+    the lists positionally; order changes would change samples). Cached on
+    the graph instance: the walk/khop samplers rebuild per batch otherwise,
+    putting an O(E) Python loop on the sampled flow's critical path.
+    """
+    cache = getattr(graph, "_neighbour_cache", None)
+    if cache is None:
+        cache = {}
+        graph._neighbour_cache = cache
+    table = cache.get(direction)
+    if table is not None:
+        return table
+    keys, values = (
+        (graph.src, graph.dst) if direction == "out" else (graph.dst, graph.src)
+    )
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_values = values[order]
+    boundaries = np.flatnonzero(
+        np.r_[True, sorted_keys[1:] != sorted_keys[:-1]]
+    )
+    ends = np.r_[boundaries[1:], len(sorted_keys)]
+    table = {
+        int(sorted_keys[start]): sorted_values[start:end].tolist()
+        for start, end in zip(boundaries, ends)
+    }
+    cache[direction] = table
     return table
 
 
@@ -83,7 +111,7 @@ def random_walk_sampler(
     if n_roots < 1 or walk_length < 1:
         raise ValueError("n_roots and walk_length must be positive")
     rng = as_generator(seed)
-    neighbours = _out_neighbours(graph)
+    neighbours = _neighbour_table(graph, "out")
     visited = set()
     roots = rng.choice(graph.n_nodes, size=min(n_roots, graph.n_nodes),
                        replace=False)
@@ -117,11 +145,7 @@ def khop_neighborhood(
     if seeds.size and (seeds.min() < 0 or seeds.max() >= graph.n_nodes):
         raise ValueError("seed ids out of range")
     rng = as_generator(rng_seed)
-
-    in_neighbours: Dict[int, List[int]] = {}
-    for s, d in zip(graph.src, graph.dst):
-        in_neighbours.setdefault(int(d), []).append(int(s))
-
+    in_neighbours = _neighbour_table(graph, "in")
     reached = set(int(s) for s in seeds)
     frontier = list(reached)
     for _ in range(n_hops):

@@ -68,11 +68,20 @@ class GraphConvLayer(Module):
         self.adj = graph.adjacency(self.norm)
         self.adj_t = graph.adjacency_transpose(self.norm)
 
-    def _activate(self, y: Tensor) -> Tensor:
+    def _activate(self, y: Tensor, slot_suffix: str = None) -> Tensor:
+        """The layer nonlinearity; planned when ``slot_suffix`` is given.
+
+        With a suffix (and a workspace attached) the activation node's
+        mask, output and backward product land in workspace slots —
+        bit-identical values to the unplanned node, needed by layers whose
+        pre-activation feeds more than one consumer (GIN).
+        """
+        workspace = self.workspace if slot_suffix is not None else None
+        slot = self.slot + (slot_suffix or "")
         if self.nonlinearity == "relu":
-            return relu(y)
+            return relu(y, workspace=workspace, slot=slot)
         if self.nonlinearity == "maxk":
-            return maxk(y, self.k)
+            return maxk(y, self.k, workspace=workspace, slot=slot)
         return y
 
     def _aggregate(self, h: Tensor) -> Tensor:
@@ -176,9 +185,27 @@ class GINConv(GraphConvLayer):
         self.eps = Tensor(np.zeros(1), requires_grad=True)
 
     def forward(self, x: Tensor) -> Tensor:
-        # GIN consumes the pre-activation twice (aggregation + the epsilon
-        # self-term), so it stays on the composed ops; the fused kernels
-        # target the single-consumer SAGE/GCN hot path.
+        # GIN's pre-activation feeds two consumers (aggregation + the
+        # epsilon self-term), so the single-output linear_act fusion does
+        # not apply. Instead the fused path keeps the pre-activation in a
+        # planned buffer and hangs *two* planned activation nodes off it —
+        # the same graph topology (and therefore the same gradient
+        # accumulation order into y) as the composed ops, bit for bit.
+        if (self.workspace is not None and self.training
+                and not self.use_cbsr_kernels):
+            y = linear_act(
+                x, self.linear.weight, self.linear.bias, activation="none",
+                workspace=self.workspace, slot=self.slot + ".lin",
+            )
+            h = self._activate(y, slot_suffix=".act")
+            aggregated = spmm_agg(
+                self.adj, self._activate(y, slot_suffix=".act2"), self.adj_t,
+                workspace=self.workspace, slot=self.slot + ".agg",
+            )
+            return add_into(
+                aggregated, h * (self.eps + 1.0),
+                workspace=self.workspace, slot=self.slot + ".sum",
+            )
         y = self.linear(x)
         h = self._activate(y)
         return self._activate_and_aggregate(y) + h * (self.eps + 1.0)

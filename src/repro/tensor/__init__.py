@@ -5,6 +5,7 @@ from .functional import (
     bce_with_logits,
     cross_entropy,
     dropout,
+    fused_ce,
     linear_act,
     linear_maxk,
     log_softmax,
@@ -44,6 +45,7 @@ __all__ = [
     "sigmoid",
     "log_softmax",
     "cross_entropy",
+    "fused_ce",
     "bce_with_logits",
     "Adam",
     "SGD",

@@ -30,6 +30,7 @@ __all__ = [
     "sigmoid",
     "log_softmax",
     "cross_entropy",
+    "fused_ce",
     "bce_with_logits",
     "linear_act",
     "linear_maxk",
@@ -92,15 +93,22 @@ def linear_act(
     # The pre-activation is not needed once the survivor mask exists (the
     # backward pass only reads the mask and the layer input), so the
     # nonlinearity is applied in place over ``y`` — one buffer, one pass.
+    # Masks are 0.0/1.0 *float* arrays, not bools: multiplying by an exact
+    # 0/1 float selects the same values bit for bit, while a float×bool
+    # ufunc would allocate numpy's ~64 KB casting buffer on every call —
+    # the last allocation source the planned hot path had left.
     if activation == "relu":
-        mask = take(".mask", y.shape, bool)
-        np.greater(y, 0.0, out=mask)
+        # heaviside(y, 0.0) is (y > 0) as floats (y == 0 → 0); a NaN input
+        # yields a NaN mask where the bool compare gives False, but a NaN
+        # pre-activation has already NaN-ed the output and the loss.
+        mask = take(".mask", y.shape)
+        np.heaviside(y, 0.0, out=mask)
         np.maximum(y, 0.0, out=y)
         h = y
     elif activation == "maxk":
         from ..sparse import ops
 
-        mask = take(".mask", y.shape, bool)
+        mask = take(".mask", y.shape)
         ops.topk_mask(y, k, out=mask, workspace=workspace, slot=slot + ".topk")
         # y * mask, then + 0.0 to normalise dropped entries to +0.0 —
         # bit-identical to the historical ``np.where(mask, y, 0.0)``.
@@ -183,30 +191,80 @@ def add_into(a: Tensor, b: Tensor, workspace=None, slot: str = "add") -> Tensor:
     return out
 
 
-def relu(x: Tensor) -> Tensor:
-    """Elementwise ReLU (the paper's baseline nonlinearity)."""
-    mask = x.data > 0
+def relu(x: Tensor, workspace=None, slot: str = "relu") -> Tensor:
+    """Elementwise ReLU (the paper's baseline nonlinearity).
+
+    With a workspace, the survivor mask, the output and the backward
+    product land in planned buffers (``y * mask`` then ``+ 0.0`` is
+    bit-identical to the historical ``np.where(mask, y, 0.0)``).
+    """
+    take = _taker(workspace, slot)
+    if workspace is None:
+        mask = x.data > 0
+        data = np.where(mask, x.data, 0.0)
+    else:
+        # Float 0/1 mask (see linear_act): same selected values, none of
+        # numpy's mixed-dtype casting buffers.
+        mask = take(".mask", x.data.shape)
+        np.heaviside(x.data, 0.0, out=mask)
+        data = take(".out", x.data.shape)
+        np.multiply(x.data, mask, out=data)
+        data += 0.0
 
     def backward(grad):
-        if x.requires_grad:
+        if not x.requires_grad:
+            return
+        if workspace is None:
             x._accumulate(grad * mask)
+        else:
+            grad_x = take(".gx", x.data.shape)
+            np.multiply(np.asarray(grad), mask, out=grad_x)
+            x._accumulate(grad_x)
 
-    return Tensor._make(np.where(mask, x.data, 0.0), (x,), backward)
+    out = Tensor._make(data, (x,), backward)
+    if workspace is not None and out.requires_grad:
+        out._grad_buffer = workspace.buffer(slot + ".grad", data.shape)
+    return out
 
 
-def maxk(x: Tensor, k: int) -> Tensor:
+def maxk(x: Tensor, k: int, workspace=None, slot: str = "maxk") -> Tensor:
     """MaxK nonlinearity: keep the k largest entries of every row.
 
     With ``k == row width`` this is the identity. The backward pass routes
-    gradient only through the surviving positions.
+    gradient only through the surviving positions. With a workspace, the
+    selection scratch, mask, output and backward product live in planned
+    buffers; the masked multiplies (``+ 0.0`` normalises dropped entries
+    to ``+0.0``) are bit-identical to the historical ``np.where`` forms.
     """
-    out, mask = maxk_forward(x.data, k)
+    if workspace is None:
+        out_data, mask = maxk_forward(x.data, k)
+    else:
+        from ..sparse import ops
+
+        take = _taker(workspace, slot)
+        mask = take(".mask", x.data.shape)  # float 0/1 mask, see linear_act
+        ops.topk_mask(x.data, k, out=mask, workspace=workspace,
+                      slot=slot + ".topk")
+        out_data = take(".out", x.data.shape)
+        np.multiply(x.data, mask, out=out_data)
+        out_data += 0.0
 
     def backward(grad):
-        if x.requires_grad:
+        if not x.requires_grad:
+            return
+        if workspace is None:
             x._accumulate(np.where(mask, grad, 0.0))
+        else:
+            take = _taker(workspace, slot)
+            grad_x = take(".gx", x.data.shape)
+            np.multiply(np.asarray(grad), mask, out=grad_x)
+            grad_x += 0.0
+            x._accumulate(grad_x)
 
-    return Tensor._make(out, (x,), backward)
+    out = Tensor._make(out_data, (x,), backward)
+    if workspace is not None and out.requires_grad:
+        out._grad_buffer = workspace.buffer(slot + ".grad", out_data.shape)
+    return out
 
 
 def maxout(x: Tensor, group_size: int) -> Tensor:
@@ -361,8 +419,14 @@ def dropout(
     else:
         draw = take(".draw", x.data.shape)
         rng.random(out=draw)
-        keep = take(".keep", x.data.shape, bool)
-        np.greater_equal(draw, p, out=keep)
+        # ``draw >= p`` as a float 0/1 mask: ``draw - p`` is exact in sign
+        # (Sterbenz when the operands are close, sign-correct otherwise,
+        # and never rounds two distinct doubles to 0), so
+        # ``heaviside(draw - p, 1.0)`` equals the bool compare bit for bit
+        # — without the casting buffer a float×bool multiply allocates.
+        np.subtract(draw, p, out=draw)
+        keep = take(".keep", x.data.shape)
+        np.heaviside(draw, 1.0, out=keep)
         # np.where(keep, x * scale, 0.0) with planned buffers: scale, mask
         # by multiplication, normalise dropped entries to +0.0 — the same
         # values, no masked copy.
@@ -422,6 +486,74 @@ def cross_entropy(logits: Tensor, labels: np.ndarray, mask: np.ndarray = None) -
     idx = np.where(mask)[0]
     picked = log_probs[(idx, labels[idx])]
     return -picked.mean()
+
+
+def fused_ce(
+    logits: Tensor,
+    labels: np.ndarray,
+    mask: np.ndarray = None,
+    workspace=None,
+    slot: str = "loss",
+) -> Tensor:
+    """Workspace-planned cross-entropy: one kernel for the whole loss stage.
+
+    Computes log-softmax, the masked negative log-likelihood mean and the
+    full backward pass in preplanned buffers, replicating the float-op
+    order of the composed :func:`cross_entropy` **exactly** — max-shift,
+    exp, row-sum, log, subtract, gather, sum, scale, negate forward;
+    scatter, row-sum, softmax-product, subtract backward — so losses and
+    gradients are bit-identical to the composed ops and training
+    trajectories do not move. With a workspace the loss stage stops
+    allocating its ``(n, classes)`` temporaries per step (the last unfused
+    stage of the PR-3 hot path); without one, plain arrays are used and
+    only the allocations differ from the composed path.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    take = _taker(workspace, slot)
+    z = logits.data
+    n, dim = z.shape
+
+    shift = take(".max", (n, 1))
+    np.amax(z, axis=1, keepdims=True, out=shift)
+    log_probs = take(".lp", (n, dim))
+    np.subtract(z, shift, out=log_probs)
+    softmax = take(".sm", (n, dim))
+    np.exp(log_probs, out=softmax)
+    norm = take(".z", (n, 1))
+    np.sum(softmax, axis=1, keepdims=True, out=norm)
+    np.log(norm, out=norm)
+    np.subtract(log_probs, norm, out=log_probs)
+    np.exp(log_probs, out=softmax)
+
+    if mask is None:
+        idx = np.arange(n)
+    else:
+        idx = np.where(np.asarray(mask))[0]
+    picked_labels = labels[idx]
+    count = idx.size
+    # sum → * (1/count) → negate: the exact op chain of -picked.mean().
+    value = -(log_probs[idx, picked_labels].sum() * (1.0 / count))
+
+    source = logits
+
+    def backward(grad):
+        if not source.requires_grad:
+            return
+        # Composed chain: negate the head grad, scale by 1/count, scatter
+        # to the picked positions, then the log-softmax backward
+        # ``g - softmax * g.sum(axis=1)`` — same ops, planned buffers.
+        scalar = (-np.asarray(grad, dtype=np.float64)) * (1.0 / count)
+        grad_lp = take(".gl", (n, dim))
+        grad_lp[...] = 0.0
+        grad_lp[idx, picked_labels] = scalar
+        row_sum = take(".gs", (n, 1))
+        np.sum(grad_lp, axis=1, keepdims=True, out=row_sum)
+        grad_x = take(".gx", (n, dim))
+        np.multiply(softmax, row_sum, out=grad_x)
+        np.subtract(grad_lp, grad_x, out=grad_x)
+        source._accumulate(grad_x)
+
+    return Tensor._make(np.asarray(value), (source,), backward)
 
 
 def bce_with_logits(logits: Tensor, targets: np.ndarray, mask: np.ndarray = None) -> Tensor:

@@ -7,10 +7,12 @@ from .checkpoint import (
     state_dict,
 )
 from .dataflow import (
+    BatchPlan,
     DataFlow,
     FullGraphFlow,
     MicroBatchedFlow,
     PartitionedFlow,
+    PrefetchFlow,
     SampledFlow,
     SubgraphCache,
     make_flow,
@@ -33,11 +35,13 @@ __all__ = [
     "micro_f1",
     "roc_auc",
     "Engine",
+    "BatchPlan",
     "DataFlow",
     "FullGraphFlow",
     "SampledFlow",
     "PartitionedFlow",
     "MicroBatchedFlow",
+    "PrefetchFlow",
     "SubgraphCache",
     "make_flow",
     "Trainer",

@@ -14,13 +14,25 @@ runs the identical optimisation loop over whichever stream it is handed
   batch schedule, streamed generators, and an LRU subgraph pool whose
   evictions release backend CSR caches;
 * :class:`PartitionedFlow` — BNS-GCN partitions with freshly sampled
-  boundary halos every epoch.
+  boundary halos every epoch;
+* :class:`PrefetchFlow` — a wrapper that materialises the next batches of
+  any schedulable flow (sampling, induction, CSR build, backend matrix
+  registration) on a background thread, double-buffered against the
+  consumer.
+
+Because every flow's batch content is a pure function of ``(seed, slot)``,
+flows can also expose their schedule as a list of :class:`BatchPlan`
+objects (:meth:`DataFlow.plan`): building a plan early moves *when* the
+work happens, never *what* is sampled, which is what makes prefetching
+bit-identical to sequential execution.
 """
 
 from __future__ import annotations
 
+import queue
+import threading
 from collections import OrderedDict
-from typing import Callable, Dict, Iterator, Optional, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -38,11 +50,13 @@ from ..graphs import (
 from ..sparse.ops import get_backend
 
 __all__ = [
+    "BatchPlan",
     "DataFlow",
     "FullGraphFlow",
     "SampledFlow",
     "PartitionedFlow",
     "MicroBatchedFlow",
+    "PrefetchFlow",
     "SubgraphCache",
     "make_flow",
 ]
@@ -125,6 +139,25 @@ class SubgraphCache:
         }
 
 
+class BatchPlan:
+    """One prefetchable schedule entry of a data flow.
+
+    ``build()`` materialises the batch — deterministically, since batch
+    content derives from ``(seed, slot)`` alone — and may run on a
+    background thread ahead of consumption. ``retire(batch)`` runs on the
+    consumer side once the training step finished with the batch (one-shot
+    flows release the batch's backend wrappers there).
+    """
+
+    __slots__ = ()
+
+    def build(self) -> Graph:
+        raise NotImplementedError
+
+    def retire(self, batch: Graph) -> None:
+        """Consumer-side cleanup after the batch's step completed."""
+
+
 class DataFlow:
     """One data-flow strategy: a per-epoch stream of training subgraphs."""
 
@@ -133,6 +166,17 @@ class DataFlow:
     def batches(self, graph: Graph, epoch: int) -> Iterator[Graph]:
         """Yield the training subgraphs of one epoch (possibly ``graph``)."""
         raise NotImplementedError
+
+    def plan(self, graph: Graph, epoch: int) -> Optional[List[BatchPlan]]:
+        """The epoch's schedule as buildable plans, or ``None``.
+
+        Flows whose batches are pure functions of their deterministic
+        ``(seed, slot)`` schedule return one :class:`BatchPlan` per batch;
+        :class:`PrefetchFlow` builds those ahead on its worker thread.
+        Returning ``None`` (the default) marks the flow unschedulable and
+        prefetch falls back to inline iteration.
+        """
+        return None
 
     def describe(self) -> str:
         return self.name
@@ -289,29 +333,66 @@ class SampledFlow(DataFlow):
             graph, seeds, n_hops=self.n_hops, fanout=self.fanout, rng_seed=rng
         )
 
-    def batches(self, graph: Graph, epoch: int) -> Iterator[Graph]:
+    def _bind_graph(self, graph: Graph) -> None:
         if self._cache_graph is not graph:
             self.cache.release_all()
             self.cache = SubgraphCache(self.cache.capacity)
             self._cache_graph = graph
-        for index in range(self.batches_per_epoch):
-            step = epoch * self.batches_per_epoch + index
-            if self.pool_size is None:
-                # Unpooled streams never revisit a slot — caching would
-                # only pin dead subgraphs and thrash the backend cache.
-                # Once the consumer's step finishes (the yield returns),
-                # drop the one-shot subgraph's backend wrappers too, or a
-                # caching backend pins memory per batch ever sampled.
-                subgraph = self._sample(graph, step)
-                yield subgraph
-                _release_graph(subgraph)
-                continue
-            slot = step % self.pool_size
-            subgraph = self.cache.get(slot)
-            if subgraph is None:
-                subgraph = self._sample(graph, slot)
-                self.cache.put(slot, subgraph)
+
+    def plan(self, graph: Graph, epoch: int) -> List[BatchPlan]:
+        self._bind_graph(graph)
+        return [
+            _SampledBatchPlan(
+                self, graph, epoch * self.batches_per_epoch + index, self.cache
+            )
+            for index in range(self.batches_per_epoch)
+        ]
+
+    def batches(self, graph: Graph, epoch: int) -> Iterator[Graph]:
+        for plan in self.plan(graph, epoch):
+            subgraph = plan.build()
             yield subgraph
+            plan.retire(subgraph)
+
+
+class _SampledBatchPlan(BatchPlan):
+    """One ``(seed, slot)`` schedule entry of a :class:`SampledFlow`.
+
+    Pooled slots are served (and populated) through the flow's LRU cache —
+    a warm slot is never rebuilt, and eviction releases only the evicted
+    subgraph's backend wrappers. Unpooled steps sample one-shot subgraphs:
+    caching would only pin dead subgraphs and thrash the backend cache, so
+    ``retire`` drops their wrappers once the consumer's step finished.
+
+    The plan captures the cache *instance* it was scheduled against: if
+    the flow rebinds to a new graph (which swaps in a fresh cache) while a
+    stale prefetch build is in flight, that build writes into the dead
+    cache instead of poisoning the new graph's pool with an old subgraph.
+    """
+
+    __slots__ = ("flow", "graph", "step", "cache")
+
+    def __init__(self, flow: "SampledFlow", graph: Graph, step: int,
+                 cache: SubgraphCache):
+        self.flow = flow
+        self.graph = graph
+        self.step = step
+        self.cache = cache
+
+    def build(self) -> Graph:
+        flow = self.flow
+        if flow.pool_size is None:
+            return flow._sample(self.graph, self.step)
+        slot = self.step % flow.pool_size
+        subgraph = self.cache.get(slot)
+        if subgraph is None:
+            subgraph = flow._sample(self.graph, slot)
+            self.cache.put(slot, subgraph)
+        return subgraph
+
+    def retire(self, batch: Graph) -> None:
+        if self.flow.pool_size is None:
+            _release_graph(batch)
 
 
 class MicroBatchedFlow(DataFlow):
@@ -372,7 +453,7 @@ class MicroBatchedFlow(DataFlow):
             _release_graph(evicted)
         return merged
 
-    def batches(self, graph: Graph, epoch: int) -> Iterator[Graph]:
+    def _bind_graph(self, graph: Graph) -> None:
         if self._merge_graph is not graph:
             # New parent graph: the pooled members are gone, so drop (and
             # release) every merged union built from them.
@@ -380,6 +461,27 @@ class MicroBatchedFlow(DataFlow):
                 _, (_, evicted) = self._merged.popitem(last=False)
                 _release_graph(evicted)
             self._merge_graph = graph
+
+    def plan(self, graph: Graph, epoch: int) -> Optional[List[BatchPlan]]:
+        inner_plans = self.inner.plan(graph, epoch)
+        if inner_plans is None:
+            return None
+        self._bind_graph(graph)
+        return [
+            _MicroBatchPlan(self, inner_plans[start:start + self.size])
+            for start in range(0, len(inner_plans), self.size)
+        ]
+
+    def batches(self, graph: Graph, epoch: int) -> Iterator[Graph]:
+        plans = self.plan(graph, epoch)
+        if plans is not None:
+            for plan in plans:
+                merged = plan.build()
+                yield merged
+                plan.retire(merged)
+            return
+        # Inner flow without a deterministic schedule: group its stream.
+        self._bind_graph(graph)
         group: list = []
         for subgraph in self.inner.batches(graph, epoch):
             group.append(subgraph)
@@ -388,6 +490,34 @@ class MicroBatchedFlow(DataFlow):
                 group = []
         if group:  # trailing partial group still trains
             yield self._merge(group)
+
+
+class _MicroBatchPlan(BatchPlan):
+    """A group of inner-flow plans merged into one micro-step union.
+
+    Members that were merged into a fresh union are retired right after the
+    merge (their own backend wrappers — if any were built — are no longer
+    needed; the union carries its own adjacency). A singleton group *is*
+    its member, so its retirement waits for the consumer's step.
+    """
+
+    __slots__ = ("flow", "members")
+
+    def __init__(self, flow: "MicroBatchedFlow", members: List[BatchPlan]):
+        self.flow = flow
+        self.members = members
+
+    def build(self) -> Graph:
+        built = [plan.build() for plan in self.members]
+        merged = self.flow._merge(built)
+        if len(built) > 1:
+            for plan, member in zip(self.members, built):
+                plan.retire(member)
+        return merged
+
+    def retire(self, merged: Graph) -> None:
+        if len(self.members) == 1:
+            self.members[0].retire(merged)
 
 
 class PartitionedFlow(DataFlow):
@@ -423,24 +553,265 @@ class PartitionedFlow(DataFlow):
             self._partition_graph = graph
         return self._partition
 
-    def batches(self, graph: Graph, epoch: int) -> Iterator[Graph]:
+    def plan(self, graph: Graph, epoch: int) -> List[BatchPlan]:
         partition = self.partition_for(graph)
-        for part in range(partition.n_parts):
-            yield bns_sample(
-                graph, partition, part,
-                boundary_fraction=self.boundary_fraction,
-                seed=self.seed + epoch * 131 + part,
+        return [
+            _PartitionBatchPlan(self, graph, epoch, part)
+            for part in range(partition.n_parts)
+        ]
+
+    def batches(self, graph: Graph, epoch: int) -> Iterator[Graph]:
+        for plan in self.plan(graph, epoch):
+            yield plan.build()
+
+
+class _PartitionBatchPlan(BatchPlan):
+    """One ``(epoch, part)`` BNS-GCN halo sample — deterministic by seed."""
+
+    __slots__ = ("flow", "graph", "epoch", "part")
+
+    def __init__(self, flow: "PartitionedFlow", graph: Graph, epoch: int,
+                 part: int):
+        self.flow = flow
+        self.graph = graph
+        self.epoch = epoch
+        self.part = part
+
+    def build(self) -> Graph:
+        flow = self.flow
+        return bns_sample(
+            self.graph, flow.partition_for(self.graph), self.part,
+            boundary_fraction=flow.boundary_fraction,
+            seed=flow.seed + self.epoch * 131 + self.part,
+        )
+
+
+class PrefetchFlow(DataFlow):
+    """Materialise an inner flow's next batches on a background thread.
+
+    Every schedulable flow's batch content is a pure function of its
+    ``(seed, slot)`` schedule, so building a batch early moves only *when*
+    the sampling / induction / CSR-build / backend-registration work
+    happens — trajectories are bit-identical with prefetch on or off. The
+    worker processes :meth:`DataFlow.plan` entries strictly in schedule
+    order (so the subgraph pool's LRU sees the exact same get/put
+    sequence) and hands batches over through a bounded queue of ``depth``
+    entries; while the trainer consumes epoch ``e`` the worker is already
+    building epoch ``e + 1``. An engine can install a per-batch warm-up
+    via :meth:`set_warmer` (adjacency construction plus
+    :meth:`~repro.sparse.ops.SparseOpsBackend.warm` registration) to move
+    those costs off the critical path as well.
+
+    Notes
+    -----
+    * Pooled flows integrate with the LRU pool unchanged: warm slots are
+      never rebuilt, and evictions release only the evicted subgraph's
+      wrappers. (With a cache smaller than the pool, an eviction may drop
+      wrappers of the batch currently training; the next step re-registers
+      them — a perf quirk, never a correctness issue.)
+    * One-shot batches are released by the *consumer* after their step
+      (:meth:`BatchPlan.retire`), exactly as in sequential execution.
+    * Epochs are assumed to be consumed in the order they are requested;
+      an out-of-order request simply discards the lookahead and rebuilds.
+    """
+
+    name = "prefetch"
+
+    #: Seconds between stop-flag checks while the worker waits on a full
+    #: hand-off queue; bounds how long a discarded job can occupy it.
+    _POLL_SECONDS = 0.05
+
+    def __init__(self, inner: DataFlow, depth: int = 2):
+        if depth < 0:
+            raise ValueError("prefetch depth must be >= 0")
+        self.inner = inner
+        self.depth = depth
+        #: Optional callable(Graph) run by the worker on every built batch.
+        self.warm: Optional[Callable[[Graph], None]] = None
+        self._jobs: "queue.Queue[Optional[_PrefetchJob]]" = queue.Queue()
+        self._pending: "OrderedDict[Tuple[int, int], _PrefetchJob]" = (
+            OrderedDict()
+        )
+        self._pending_graph: Optional[Graph] = None
+        self._thread: Optional[threading.Thread] = None
+        self.built = 0  # batches built by the worker (stats/tests)
+
+    def describe(self) -> str:
+        return f"{self.inner.describe()}+prefetch{self.depth}"
+
+    def set_warmer(self, warm: Optional[Callable[[Graph], None]]) -> None:
+        """Install the per-batch warm-up the worker runs after building."""
+        self.warm = warm
+
+    # -- worker --------------------------------------------------------
+    def _ensure_worker(self) -> None:
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._work, name="repro-prefetch", daemon=True
             )
+            self._thread.start()
+
+    def _offer(self, job: "_PrefetchJob", item) -> bool:
+        """Put with periodic stop checks so discarded jobs cannot wedge
+        the worker behind a full queue nobody will drain. The timeout
+        backs off exponentially (capped at 1 s): a lookahead job whose
+        consumer never arrives — e.g. the epoch after ``fit()``'s last —
+        parks the worker at a negligible poll rate instead of 20 Hz."""
+        delay = self._POLL_SECONDS
+        while True:
+            if job.stop.is_set():
+                return False
+            try:
+                job.results.put(item, timeout=delay)
+                return True
+            except queue.Full:
+                delay = min(2.0 * delay, 1.0)
+
+    def _work(self) -> None:
+        while True:
+            job = self._jobs.get()
+            if job is None:
+                return
+            for plan in job.plans:
+                if job.stop.is_set():
+                    break
+                try:
+                    batch = plan.build()
+                    warm = self.warm
+                    if warm is not None:
+                        warm(batch)
+                except BaseException as exc:  # delivered to the consumer
+                    self._offer(job, ("error", exc, None))
+                    break
+                self.built += 1
+                if not self._offer(job, ("batch", batch, plan)):
+                    # Discarded job: nobody will consume this batch, so
+                    # run its consumer-side cleanup here (one-shot flows
+                    # release the backend wrappers the warmer registered).
+                    plan.retire(batch)
+                    break
+                if job.stop.is_set():
+                    # Cancellation raced the hand-off: the canceller may
+                    # have drained before this item landed. Retire is
+                    # idempotent (backend release pops at most once), so
+                    # covering it from both sides cannot double-free.
+                    plan.retire(batch)
+                    break
+
+    # -- scheduling ----------------------------------------------------
+    def _schedule(self, graph: Graph, epoch: int) -> Optional["_PrefetchJob"]:
+        plans = self.inner.plan(graph, epoch)
+        if plans is None:
+            return None
+        job = _PrefetchJob(plans, self.depth)
+        self._ensure_worker()
+        self._jobs.put(job)
+        return job
+
+    def _schedule_ahead(self, graph: Graph, epoch: int) -> None:
+        key = (id(graph), epoch)
+        if key in self._pending:
+            return
+        job = self._schedule(graph, epoch)
+        if job is not None:
+            self._pending[key] = job
+
+    @staticmethod
+    def _cancel(job: "_PrefetchJob") -> None:
+        job.stop.set()
+        while True:
+            try:
+                kind, payload, plan = job.results.get_nowait()
+            except queue.Empty:
+                return
+            if kind == "batch":
+                # Never-consumed batches still get their consumer-side
+                # cleanup, or one-shot subgraphs' warmed backend wrappers
+                # would stay pinned in the backend's LRU.
+                plan.retire(payload)
+
+    def _discard_pending(self) -> None:
+        while self._pending:
+            _, job = self._pending.popitem(last=False)
+            self._cancel(job)
+        self._pending_graph = None
+
+    def close(self) -> None:
+        """Drop pending lookahead batches and stop the worker thread.
+
+        Call when a flow is retired for good (the CLI does after
+        training). Not required between ``fit()`` calls — the next
+        ``batches()`` request reuses or discards the lookahead — and a
+        never-closed flow costs only its parked daemon worker plus up to
+        ``depth`` built batches of the one epoch past the last consumed.
+        """
+        self._discard_pending()
+        if self._thread is not None and self._thread.is_alive():
+            self._jobs.put(None)
+            self._thread.join(timeout=5.0)
+        self._thread = None
+
+    # -- consumption ---------------------------------------------------
+    def plan(self, graph: Graph, epoch: int) -> Optional[List[BatchPlan]]:
+        # Nesting prefetch inside another prefetch adds no overlap; expose
+        # the inner schedule so an outer wrapper drives it directly.
+        return self.inner.plan(graph, epoch)
+
+    def batches(self, graph: Graph, epoch: int) -> Iterator[Graph]:
+        if self.depth == 0:
+            yield from self.inner.batches(graph, epoch)
+            return
+        job = None
+        if self._pending_graph is graph:
+            job = self._pending.pop((id(graph), epoch), None)
+        if job is None:
+            self._discard_pending()
+            job = self._schedule(graph, epoch)
+        if job is None:  # inner flow is not schedulable
+            yield from self.inner.batches(graph, epoch)
+            return
+        self._pending_graph = graph
+        # Lookahead: start the next epoch while this one is consumed (the
+        # bounded hand-off queue caps how far ahead the worker runs).
+        self._schedule_ahead(graph, epoch + 1)
+        try:
+            for plan in job.plans:
+                kind, payload, _ = job.results.get()
+                if kind == "error":
+                    raise payload
+                yield payload
+                plan.retire(payload)
+        finally:
+            self._cancel(job)
 
 
-def make_flow(flow: str, micro_batch: int = 1, **kwargs) -> DataFlow:
+class _PrefetchJob:
+    """One epoch's plans plus the bounded hand-off queue to the consumer."""
+
+    __slots__ = ("plans", "results", "stop")
+
+    def __init__(self, plans: List[BatchPlan], depth: int):
+        self.plans = plans
+        self.results: "queue.Queue[Tuple[str, object]]" = queue.Queue(
+            maxsize=max(depth, 1)
+        )
+        self.stop = threading.Event()
+
+
+def make_flow(
+    flow: str, micro_batch: int = 1, prefetch: int = 0, **kwargs
+) -> DataFlow:
     """Build a flow by CLI name: ``full`` / ``sampled`` / ``partitioned``.
 
     ``micro_batch > 1`` wraps the flow in a :class:`MicroBatchedFlow` that
-    merges that many consecutive batches into one fused dense pass.
+    merges that many consecutive batches into one fused dense pass;
+    ``prefetch > 0`` wraps the result in a :class:`PrefetchFlow` that
+    builds up to that many batches ahead on a background thread.
     """
     if micro_batch < 1:
         raise ValueError("micro_batch must be >= 1")
+    if prefetch < 0:
+        raise ValueError("prefetch must be >= 0")
     if flow == "full":
         built = FullGraphFlow()
     elif flow == "sampled":
@@ -453,4 +824,6 @@ def make_flow(flow: str, micro_batch: int = 1, **kwargs) -> DataFlow:
         )
     if micro_batch > 1:
         built = MicroBatchedFlow(built, micro_batch)
+    if prefetch > 0:
+        built = PrefetchFlow(built, prefetch)
     return built

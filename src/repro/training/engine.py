@@ -20,7 +20,8 @@ import numpy as np
 
 from ..graphs import Graph
 from ..models import MaxKGNN
-from ..tensor import Adam, Tensor, bce_with_logits, cross_entropy, no_grad
+from ..sparse.ops import get_backend
+from ..tensor import Adam, Tensor, bce_with_logits, cross_entropy, fused_ce, no_grad
 from .dataflow import DataFlow, FullGraphFlow
 from .metrics import accuracy, micro_f1, roc_auc
 from .schedulers import EarlyStopping
@@ -71,12 +72,17 @@ class Engine:
         weight_decay: float = 0.0,
         metric: Optional[str] = None,
         early_stopping: Optional[EarlyStopping] = None,
+        fused_loss: bool = True,
     ):
         if graph.features is None or graph.labels is None:
             raise ValueError("graph must carry features and labels")
         self.model = model
         self.graph = graph
         self.flow = flow if flow is not None else FullGraphFlow()
+        #: Route single-label training losses through the workspace-planned
+        #: ``fused_ce`` kernel (bit-identical values; zero loss-stage
+        #: allocations). Disable to time the composed loss path.
+        self.fused_loss = fused_loss
         self.optimizer = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
         if metric is None:
             metric = "micro_f1" if graph.multilabel else "accuracy"
@@ -88,8 +94,33 @@ class Engine:
         self.early_stopping = early_stopping
         self._features = np.asarray(graph.features, dtype=np.float64)
         self._bound = model.graph
+        # A prefetching flow builds future batches on a background thread;
+        # hand it the model-specific warm-up (adjacency + backend
+        # registration) so that work leaves the training critical path too.
+        set_warmer = getattr(self.flow, "set_warmer", None)
+        if set_warmer is not None:
+            set_warmer(self._warm_subgraph)
 
     # ------------------------------------------------------------------
+    def _warm_subgraph(self, subgraph: Graph) -> None:
+        """Materialise a future batch's hot state (prefetch-thread hook).
+
+        Builds the normalised adjacency and its transpose for every
+        convolution's aggregator and registers them with the active sparse
+        backend (scipy wrappers / vectorized SpMM plans), so the trainer
+        finds everything warm when the batch arrives. Runs strictly
+        *before* the batch is handed over (the prefetch queue is the
+        happens-before edge), so the trainer only ever reads a built
+        ``_adj_cache`` — the two threads never race to construct the same
+        graph's adjacency.
+        """
+        matrices = []
+        for conv in getattr(self.model, "convs", ()):
+            matrices.append(subgraph.adjacency(conv.norm))
+            matrices.append(subgraph.adjacency_transpose(conv.norm))
+        if matrices:
+            get_backend().warm(matrices)
+
     def _bind(self, subgraph: Graph) -> None:
         if self._bound is not subgraph:
             self.model.bind_graph(subgraph)
@@ -98,6 +129,11 @@ class Engine:
     def _loss(self, logits: Tensor, subgraph: Graph) -> Tensor:
         if subgraph.multilabel:
             return bce_with_logits(logits, subgraph.labels, subgraph.train_mask)
+        if self.fused_loss and self.model.training:
+            return fused_ce(
+                logits, subgraph.labels, subgraph.train_mask,
+                workspace=getattr(self.model, "workspace", None), slot="loss",
+            )
         return cross_entropy(logits, subgraph.labels, subgraph.train_mask)
 
     def _score(self, logits: np.ndarray, mask: np.ndarray) -> float:
