@@ -1,0 +1,156 @@
+"""Benchmark trend check: fail CI on regressions vs the committed baselines.
+
+Compares every ``BENCH_*.json`` a perf-smoke run produced (default:
+``benchmarks/results/smoke/``) against the committed full-protocol
+baselines (``benchmarks/results/``). Payloads are nested dictionaries;
+matching numeric leaves are compared by key semantics:
+
+* dimensionless quality ratios — keys named/suffixed ``speedup``,
+  ``scaling``, ``efficiency`` — are *higher is better* and fail when the
+  current value drops more than ``--tolerance`` (default 20%) below the
+  baseline. Baselines already inside the noise band (below
+  ``--noise-floor``, default 1.15 — e.g. a path a benchmark only asserts
+  "does not regress" on) are reported but not gated: a 1-seed smoke run
+  on a different host class can legitimately wobble a ~1.0× ratio past
+  any fixed tolerance, and those paths keep their own backend-aware
+  floors inside the benchmarks themselves. ``--gate-all`` restores strict
+  gating for same-host trend tracking;
+* boolean correctness flags — ``identical``, ``finite``, ``r1_identical``
+  — fail whenever the baseline held and the current run does not;
+* absolute timings (``*_ms``, ``*_s``) depend on the host, so they are
+  reported but only gated with ``--include-times`` (for same-host trend
+  tracking);
+* keys present only on one side are reported, never fatal — protocols
+  grow and benchmarks may be backend-specific.
+
+Usage (the CI perf-smoke job)::
+
+    python benchmarks/check_trend.py \
+        --baseline benchmarks/results --current benchmarks/results/smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterator, Tuple
+
+RATIO_SUFFIXES = ("speedup", "scaling", "efficiency")
+BOOL_KEYS = ("identical", "finite", "r1_identical")
+TIME_SUFFIXES = ("_ms", "_s")
+
+
+def _leaves(payload, prefix="") -> Iterator[Tuple[str, object]]:
+    if isinstance(payload, dict):
+        for key, value in sorted(payload.items()):
+            yield from _leaves(value, f"{prefix}{key}.")
+    else:
+        yield prefix.rstrip("."), payload
+
+
+def _flat(payload) -> dict:
+    flat = {}
+    for path, value in _leaves(payload):
+        flat[path] = value
+    return flat
+
+
+def _kind(path: str) -> str:
+    leaf = path.rsplit(".", 1)[-1]
+    if leaf in BOOL_KEYS:
+        return "bool"
+    if any(leaf == s or leaf.endswith("_" + s) for s in RATIO_SUFFIXES):
+        return "ratio"
+    if any(leaf.endswith(s) for s in TIME_SUFFIXES):
+        return "time"
+    return "other"
+
+
+def compare_file(baseline: dict, current: dict, tolerance: float,
+                 include_times: bool, noise_floor: float = 0.0):
+    """Yield ``(path, kind, base, cur, ok)`` for every comparable leaf.
+
+    Ratio leaves whose baseline sits below ``noise_floor`` are yielded
+    with kind ``"ratio-info"`` and always ``ok`` — visible in the report,
+    never fatal.
+    """
+    base_flat, cur_flat = _flat(baseline), _flat(current)
+    for path in sorted(set(base_flat) & set(cur_flat)):
+        base, cur = base_flat[path], cur_flat[path]
+        kind = _kind(path)
+        if kind == "bool":
+            yield path, kind, base, cur, not (bool(base) and not bool(cur))
+        elif kind == "ratio" and isinstance(base, (int, float)) and isinstance(
+            cur, (int, float)
+        ):
+            if base < noise_floor:
+                yield path, "ratio-info", base, cur, True
+            else:
+                floor = base * (1.0 - tolerance)
+                yield path, kind, base, cur, cur >= floor
+        elif kind == "time" and include_times and isinstance(
+            base, (int, float)
+        ) and isinstance(cur, (int, float)):
+            ceiling = base * (1.0 + tolerance)
+            yield path, kind, base, cur, cur <= ceiling
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate perf-smoke BENCH_*.json against committed baselines"
+    )
+    parser.add_argument("--baseline", type=Path,
+                        default=Path("benchmarks/results"))
+    parser.add_argument("--current", type=Path,
+                        default=Path("benchmarks/results/smoke"))
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional regression (default 0.20)")
+    parser.add_argument("--include-times", action="store_true",
+                        help="also gate absolute *_ms/*_s values (only "
+                             "meaningful when baseline and current ran on "
+                             "the same host class)")
+    parser.add_argument("--noise-floor", type=float, default=1.15,
+                        help="ratios whose baseline is below this are "
+                             "reported but not gated (default 1.15)")
+    parser.add_argument("--gate-all", action="store_true",
+                        help="gate every ratio regardless of the noise "
+                             "floor (same-host trend tracking)")
+    args = parser.parse_args(argv)
+
+    current_files = sorted(args.current.glob("BENCH_*.json"))
+    if not current_files:
+        print(f"no BENCH_*.json under {args.current} — nothing to check")
+        return 1
+
+    failures = 0
+    compared = 0
+    for current_path in current_files:
+        baseline_path = args.baseline / current_path.name
+        if not baseline_path.exists():
+            print(f"[new]  {current_path.name}: no committed baseline yet")
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        current = json.loads(current_path.read_text())
+        noise_floor = 0.0 if args.gate_all else args.noise_floor
+        for path, kind, base, cur, ok in compare_file(
+            baseline, current, args.tolerance, args.include_times,
+            noise_floor,
+        ):
+            compared += 1
+            status = "ok  " if ok else "FAIL"
+            if not ok:
+                failures += 1
+            print(f"[{status}] {current_path.name}:{path} "
+                  f"({kind}) baseline={base} current={cur}")
+
+    print(f"\n{compared} leaves compared, {failures} regression(s), "
+          f"tolerance {args.tolerance:.0%}")
+    if compared == 0:
+        print("warning: no overlapping gated leaves found")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

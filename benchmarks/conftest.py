@@ -49,16 +49,18 @@ def record_json(results_dir):
 
     ``record_json(file_stem, key, payload)`` updates ``results/<stem>.json``
     under ``key`` (read–update–write, so independent tests and repeated
-    runs compose). Smoke runs print but, like :func:`record_result`, do not
-    clobber the committed full-protocol artifacts.
+    runs compose). Smoke runs never clobber the committed full-protocol
+    artifacts; they write to ``results/smoke/<stem>.json`` instead, which
+    CI uploads as workflow artifacts and feeds to the trend check
+    (``benchmarks/check_trend.py``) against the committed baselines.
     """
     smoke = perf_smoke_enabled()
 
     def _record(stem: str, key: str, payload) -> None:
         print(f"\n=== {stem}:{key} ===\n{json.dumps(payload, indent=2)}")
-        if smoke:
-            return
-        path = results_dir / f"{stem}.json"
+        directory = results_dir / "smoke" if smoke else results_dir
+        directory.mkdir(exist_ok=True)
+        path = directory / f"{stem}.json"
         merged = {}
         if path.exists():
             merged = json.loads(path.read_text())

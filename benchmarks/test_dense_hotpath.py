@@ -23,7 +23,9 @@ assert-only hot-path regression gate on every backend. Speedup floors are
 backend-aware: the compiled scipy SpMM frees the dense work the fused
 kernels eliminate, while the pure-numpy ``vectorized`` backend is
 bincount-bound and only asserted not to regress. Numbers land in
-``benchmarks/results/dense_hotpath.txt`` and ``benchmarks/PERF.md``.
+``benchmarks/results/dense_hotpath.txt``, the machine-readable
+``results/BENCH_dense_hotpath.json`` (smoke: ``results/smoke/``) and
+``benchmarks/PERF.md``.
 
 Run this file *before* allocation-heavy benchmarks (the CI smoke command
 and the suite's alphabetical collection both do): part of the fused
@@ -190,11 +192,26 @@ def run():
 
 
 @pytest.mark.slow
-def test_fused_hotpath_speedup_and_bit_identity(benchmark, record_result):
+def test_fused_hotpath_speedup_and_bit_identity(benchmark, record_result,
+                                                record_json):
     data = benchmark.pedantic(run, rounds=1, iterations=1)
     backend = get_backend().name
     speedup = data["speedup"]
     micro_speedup = data["micro_speedup"]
+    record_json(
+        "BENCH_dense_hotpath", f"hotpath[{backend}]",
+        {
+            "backend": backend,
+            "protocol": f"scaled {DATASET}, pooled node n/2 + micro x8",
+            "composed_ms": round(data["base_ms"], 2),
+            "fused_ms": round(data["fused_ms"], 2),
+            "speedup": round(speedup, 3),
+            "unmerged_ms": round(data["plain_ms"], 2),
+            "micro_ms": round(data["micro_ms"], 2),
+            "micro_speedup": round(micro_speedup, 3),
+            "identical": bool(data["identical"]),
+        },
+    )
     record_result(
         "dense_hotpath",
         format_table(

@@ -4,8 +4,9 @@ The tentpole claim of the engine refactor: on the scaled Reddit stand-in
 the sampled flow (GraphSAINT-node regime, subgraph pool with warm CSR
 caches) cuts per-epoch wall-clock well below full-batch while final
 accuracy stays within the seed-variance band of the full-batch runs.
-Numbers land in ``benchmarks/results/engine_flows.txt`` and the engine
-section of ``benchmarks/PERF.md``.
+Numbers land in ``benchmarks/results/engine_flows.txt``, the
+machine-readable ``results/BENCH_engine_flows.json`` (smoke runs:
+``results/smoke/``) and the engine section of ``benchmarks/PERF.md``.
 """
 
 import time
@@ -74,9 +75,24 @@ def run():
 
 @pytest.mark.slow
 def test_sampled_flow_cuts_epoch_time_within_accuracy_band(
-    benchmark, record_result
+    benchmark, record_result, record_json
 ):
     data = benchmark.pedantic(run, rounds=1, iterations=1)
+    from repro.sparse.ops import get_backend
+
+    backend = get_backend().name
+    record_json(
+        "BENCH_engine_flows", f"flows[{backend}]",
+        {
+            "backend": backend,
+            "protocol": f"scaled {DATASET}, full vs pooled node n/2",
+            "full_ms": round(data["full_ms"], 2),
+            "sampled_ms": round(data["sampled_ms"], 2),
+            "speedup": round(data["full_ms"] / data["sampled_ms"], 3),
+            "full_acc": round(data["full_acc"], 4),
+            "sampled_acc": round(data["sampled_acc"], 4),
+        },
+    )
     summary = [
         ("full (mean)", "-", round(data["full_acc"], 3),
          round(data["full_ms"], 1)),

@@ -21,6 +21,9 @@ Training runs through the execution engine with a selectable data flow::
     python -m repro train --dataset Reddit --flow sampled --sampler node \
         --batches-per-epoch 2 --prefetch 2   # pipeline sampling vs training
     python -m repro train --dataset ogbn-products --flow partitioned --n-parts 4
+    python -m repro train --dataset Reddit --flow distributed --replicas 4
+    python -m repro train --dataset Reddit --flow distributed --replicas 2 \
+        --distributed-inner sampled --importance   # degree-weighted batches
 """
 
 from __future__ import annotations
@@ -126,14 +129,17 @@ def _run_train(args) -> str:
         out_features=out_features, n_layers=cfg.layers,
         nonlinearity=args.nonlinearity, k=k, dropout=cfg.dropout,
     )
+    sampled_kwargs = dict(
+        sampler=args.sampler, batches_per_epoch=args.batches_per_epoch,
+        sample_size=args.sample_size, walk_length=args.walk_length,
+        n_hops=args.n_hops, fanout=args.fanout, pool_size=args.pool_size,
+        seed=args.seed, importance=args.importance,
+        importance_alpha=args.importance_alpha,
+    )
     if args.flow == "sampled":
         flow = make_flow(
-            "sampled", sampler=args.sampler,
-            batches_per_epoch=args.batches_per_epoch,
-            sample_size=args.sample_size, walk_length=args.walk_length,
-            n_hops=args.n_hops, fanout=args.fanout,
-            pool_size=args.pool_size, seed=args.seed,
-            micro_batch=args.micro_batch, prefetch=args.prefetch,
+            "sampled", micro_batch=args.micro_batch, prefetch=args.prefetch,
+            **sampled_kwargs,
         )
     elif args.flow == "partitioned":
         flow = make_flow(
@@ -141,13 +147,29 @@ def _run_train(args) -> str:
             boundary_fraction=args.boundary_fraction, seed=args.seed,
             micro_batch=args.micro_batch, prefetch=args.prefetch,
         )
+    elif args.flow == "distributed":
+        # micro_batch/prefetch are forwarded so make_flow's explicit
+        # incompatibility error surfaces instead of silently ignoring the
+        # user's flags.
+        if args.distributed_inner == "sampled":
+            flow = make_flow(
+                "distributed", inner="sampled", replicas=args.replicas,
+                micro_batch=args.micro_batch, prefetch=args.prefetch,
+                **sampled_kwargs,
+            )
+        else:
+            flow = make_flow(
+                "distributed", inner="partitioned", replicas=args.replicas,
+                micro_batch=args.micro_batch, prefetch=args.prefetch,
+                n_parts=args.n_parts,
+                boundary_fraction=args.boundary_fraction, seed=args.seed,
+            )
     else:
         flow = make_flow(
             "full", micro_batch=args.micro_batch, prefetch=args.prefetch
         )
-    engine = Engine(
-        MaxKGNN(graph, config, seed=args.seed), graph, flow, lr=cfg.lr
-    )
+    model = MaxKGNN(graph, config, seed=args.seed)
+    engine = Engine(model, graph, flow, lr=cfg.lr)
     epochs = args.epochs if args.epochs is not None else cfg.epochs
     start = time.perf_counter()
     try:
@@ -169,6 +191,32 @@ def _run_train(args) -> str:
         f"{result.metric_name:12s} val {result.best_val:.3f}  "
         f"test {result.test_at_best_val:.3f}",
     ]
+    report_of = getattr(flow, "report", None)
+    if report_of is not None:
+        # DistributedFlow: measured placement quality next to the gpusim
+        # communication / scaling model.
+        report = report_of(
+            graph, hidden=cfg.hidden, n_layers=cfg.layers,
+            n_params=model.n_parameters(), k=k,
+        )
+        lines.append(
+            f"replicas     {report['replicas']} "
+            f"({report['rounds_per_epoch']} rounds/epoch, all-reduce "
+            f"{report['allreduce_mb_per_epoch']:.2f} MB/epoch, modelled "
+            f"{report['allreduce_ms_per_epoch']:.3f} ms)"
+        )
+        lines.append(
+            f"balance      straggler skew {report['straggler_skew']:.2f}, "
+            f"load efficiency {report['load_efficiency']:.2f}, "
+            f"gini {report['load_gini']:.3f}"
+        )
+        if "predicted_scaling" in report:
+            lines.append(
+                f"scaling      predicted {report['predicted_scaling']:.2f}x "
+                f"at R={report['replicas']} (modelled epoch "
+                f"{report['modelled_epoch_ms']:.2f} ms, comm "
+                f"{100 * report['modelled_comm_fraction']:.0f}%)"
+            )
     return "\n".join(lines)
 
 
@@ -208,7 +256,8 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--epochs", type=int, default=None)
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--flow", default="full",
-                       choices=["full", "sampled", "partitioned"],
+                       choices=["full", "sampled", "partitioned",
+                                "distributed"],
                        help="data-flow strategy for the engine")
     train.add_argument("--sampler", default="node",
                        choices=["node", "edge", "walk", "khop"],
@@ -232,6 +281,21 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--n-parts", type=int, default=4,
                        help="partitions for --flow partitioned")
     train.add_argument("--boundary-fraction", type=float, default=0.2)
+    train.add_argument("--replicas", type=int, default=2,
+                       help="simulated data-parallel replicas for "
+                            "--flow distributed (R=1 replays the inner "
+                            "flow bit for bit)")
+    train.add_argument("--distributed-inner", default="partitioned",
+                       choices=["partitioned", "sampled"],
+                       help="which flow --flow distributed shards "
+                            "across the replicas")
+    train.add_argument("--importance", action="store_true",
+                       help="degree-weighted GraphSAINT importance "
+                            "sampling (node/edge samplers): batches carry "
+                            "unbiased loss weights")
+    train.add_argument("--importance-alpha", type=float, default=1.0,
+                       help="degree exponent of the importance "
+                            "distribution (0 = uniform)")
 
     for name in ARTIFACTS:
         sub = subparsers.add_parser(name, help=_DESCRIPTIONS[name])

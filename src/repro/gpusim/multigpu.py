@@ -27,7 +27,13 @@ from .device import DeviceModel
 from .kernels import SparsePattern, cusparse_spmm_cost, spgemm_cost, sspmm_cost
 from .kernels.maxk_kernel import maxk_kernel_cost
 
-__all__ = ["PartitionStats", "partition_stats", "MultiGpuEpochModel"]
+__all__ = [
+    "PartitionStats",
+    "partition_stats",
+    "shard_stats",
+    "ring_allreduce_time",
+    "MultiGpuEpochModel",
+]
 
 #: NVLink 3.0 per-GPU aggregate bandwidth (A100), bytes/second.
 NVLINK_BANDWIDTH = 600e9
@@ -85,6 +91,56 @@ def partition_stats(graph: Graph, partition: Partition) -> PartitionStats:
         edges_per_part=edges,
         boundary_per_part=boundaries,
     )
+
+
+def shard_stats(stats: PartitionStats, replicas: int) -> PartitionStats:
+    """Fold P partitions onto R replicas by round-chunked placement.
+
+    Mirrors :class:`~repro.training.dataflow.DistributedFlow`'s schedule:
+    round ``i`` trains partitions ``[i*R, (i+1)*R)``, so replica ``r``
+    owns partitions ``r, r+R, r+2R, …`` and its modelled load is their
+    sum. With ``replicas == n_parts`` this is the identity placement.
+    """
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    if replicas > stats.n_parts:
+        raise ValueError("more replicas than partitions to place")
+    nodes = [0] * replicas
+    edges = [0] * replicas
+    boundary = [0] * replicas
+    for part in range(stats.n_parts):
+        replica = part % replicas
+        nodes[replica] += stats.nodes_per_part[part]
+        edges[replica] += stats.edges_per_part[part]
+        boundary[replica] += stats.boundary_per_part[part]
+    return PartitionStats(
+        n_parts=replicas,
+        nodes_per_part=nodes,
+        edges_per_part=edges,
+        boundary_per_part=boundary,
+    )
+
+
+def ring_allreduce_time(
+    n_bytes: float,
+    replicas: int,
+    bandwidth: float = NVLINK_BANDWIDTH,
+) -> float:
+    """Modelled latency of one ring all-reduce over the gradient buffer.
+
+    The standard 2(R-1)/R-volume ring: each replica sends (and receives)
+    ``2 * (R-1) / R * n_bytes`` across ``2 * (R-1)`` latency-bound steps.
+    ``R == 1`` costs nothing — there is no exchange to run.
+    """
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    if n_bytes < 0:
+        raise ValueError("n_bytes must be >= 0")
+    if replicas == 1:
+        return 0.0
+    steps = 2 * (replicas - 1)
+    volume = 2.0 * (replicas - 1) / replicas * n_bytes
+    return steps * COMM_LATENCY + volume / (bandwidth * NVLINK_UTILIZATION)
 
 
 class MultiGpuEpochModel:
@@ -163,6 +219,51 @@ class MultiGpuEpochModel:
     def speedup(self, k: int) -> float:
         """MaxK-over-baseline epoch speedup under partition parallelism."""
         return self.baseline_epoch() / self.maxk_epoch(k)
+
+    def serial_epoch(self, k: int = None) -> float:
+        """Epoch latency when one device trains every partition in turn.
+
+        The R=1 data-parallel schedule: kernel costs *sum* instead of
+        racing, and the boundary exchange is a local copy (free). This is
+        the denominator of :meth:`predicted_scaling`.
+        """
+        if k is None:
+            kernel = sum(
+                cusparse_spmm_cost(self._part_pattern(p), self.hidden,
+                                   self.device).latency
+                for p in range(self.stats.n_parts)
+            )
+            return self.n_layers * 2 * kernel
+        if not 1 <= k <= self.hidden:
+            raise ValueError("k must be in [1, hidden]")
+        kernel = sum(
+            spgemm_cost(self._part_pattern(p), self.hidden, k, self.device)
+            .latency
+            + sspmm_cost(self._part_pattern(p), self.hidden, k, self.device)
+            .latency
+            for p in range(self.stats.n_parts)
+        )
+        # Per-part selection costs sum like the kernel terms above (the
+        # parallel maxk_epoch charges only the largest part — its
+        # straggler); charging n_parts * largest here would overstate the
+        # serial sweep, and hence predicted_scaling, on skewed partitions.
+        selection = sum(
+            maxk_kernel_cost(max(nodes, 1), self.hidden, k,
+                             self.device).latency
+            for nodes in self.stats.nodes_per_part
+        )
+        return self.n_layers * (kernel + selection)
+
+    def predicted_scaling(self, k: int = None) -> float:
+        """Modelled speedup of P-replica execution over the serial sweep.
+
+        Bounded above by P; communication and the straggler replica (the
+        ``max`` in the parallel epoch) erode it — exactly the two effects
+        :class:`~repro.training.dataflow.DistributedFlow` reports measured
+        counterparts for.
+        """
+        parallel = self.baseline_epoch() if k is None else self.maxk_epoch(k)
+        return self.serial_epoch(k) / parallel
 
     def communication_fraction(self, k: int = None) -> float:
         """Share of the epoch spent exchanging boundaries."""

@@ -35,6 +35,8 @@ from .reorder import (
 )
 from .sampling import (
     as_generator,
+    degree_edge_probabilities,
+    degree_node_probabilities,
     edge_sampler,
     khop_neighborhood,
     node_sampler,
@@ -72,6 +74,8 @@ __all__ = [
     "locality_score",
     "REORDERINGS",
     "as_generator",
+    "degree_node_probabilities",
+    "degree_edge_probabilities",
     "node_sampler",
     "edge_sampler",
     "random_walk_sampler",

@@ -67,4 +67,5 @@ def batch_graphs(graphs: Sequence[Graph]) -> Graph:
         name=f"batch[{len(graphs)}x{graphs[0].name}]",
         multilabel=multilabel,
         communities=_stack_payload([g.communities for g in graphs]),
+        loss_weights=_stack_payload([g.loss_weights for g in graphs]),
     )

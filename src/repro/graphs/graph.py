@@ -41,6 +41,11 @@ class Graph:
     multilabel: bool = False
     #: Planted community assignment (set by the SBM generator).
     communities: Optional[np.ndarray] = None
+    #: Per-node importance-sampling loss weights (set by the degree-weighted
+    #: samplers): a batch's training loss is ``sum_v w_v * loss_v`` instead
+    #: of the plain masked mean, making the sampled-loss estimator unbiased
+    #: for the full-graph mean (GraphSAINT normalisation).
+    loss_weights: Optional[np.ndarray] = None
     _adj_cache: Dict[str, CSRMatrix] = field(default_factory=dict, repr=False)
 
     def __post_init__(self):
@@ -130,6 +135,7 @@ class Graph:
             name=self.name,
             multilabel=self.multilabel,
             communities=self.communities,
+            loss_weights=self.loss_weights,
         )
 
     def summary(self) -> Dict[str, float]:

@@ -153,6 +153,7 @@ def induced_subgraph(graph: Graph, nodes: np.ndarray) -> Graph:
         name=f"{graph.name}-sub",
         multilabel=graph.multilabel,
         communities=slice_rows(graph.communities),
+        loss_weights=slice_rows(graph.loss_weights),
     )
 
 

@@ -15,6 +15,7 @@ from .functional import (
     sigmoid,
     spgemm_agg,
     spmm_agg,
+    weighted_cross_entropy,
 )
 from .workspace import Workspace
 from .init import kaiming_uniform, xavier_uniform, zeros
@@ -45,6 +46,7 @@ __all__ = [
     "sigmoid",
     "log_softmax",
     "cross_entropy",
+    "weighted_cross_entropy",
     "fused_ce",
     "bce_with_logits",
     "Adam",

@@ -9,6 +9,7 @@ from .checkpoint import (
 from .dataflow import (
     BatchPlan,
     DataFlow,
+    DistributedFlow,
     FullGraphFlow,
     MicroBatchedFlow,
     PartitionedFlow,
@@ -17,7 +18,7 @@ from .dataflow import (
     SubgraphCache,
     make_flow,
 )
-from .engine import Engine
+from .engine import Engine, ReplicaGradients
 from .metrics import accuracy, micro_f1, roc_auc
 from .partitioned import (
     PartitionedTrainer,
@@ -35,8 +36,10 @@ __all__ = [
     "micro_f1",
     "roc_auc",
     "Engine",
+    "ReplicaGradients",
     "BatchPlan",
     "DataFlow",
+    "DistributedFlow",
     "FullGraphFlow",
     "SampledFlow",
     "PartitionedFlow",

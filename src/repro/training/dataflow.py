@@ -18,7 +18,12 @@ runs the identical optimisation loop over whichever stream it is handed
 * :class:`PrefetchFlow` — a wrapper that materialises the next batches of
   any schedulable flow (sampling, induction, CSR build, backend matrix
   registration) on a background thread, double-buffered against the
-  consumer.
+  consumer;
+* :class:`DistributedFlow` — simulated multi-GPU data parallelism: the
+  inner flow's epoch schedule is sharded across ``R`` replicas in rounds,
+  the engine all-reduces replica gradients in a fixed order (one optimizer
+  step per round), and the flow reports measured straggler skew next to
+  the gpusim-modelled communication volume and predicted scaling.
 
 Because every flow's batch content is a pure function of ``(seed, slot)``,
 flows can also expose their schedule as a list of :class:`BatchPlan`
@@ -57,6 +62,7 @@ __all__ = [
     "PartitionedFlow",
     "MicroBatchedFlow",
     "PrefetchFlow",
+    "DistributedFlow",
     "SubgraphCache",
     "make_flow",
 ]
@@ -222,6 +228,8 @@ class SampledFlow(DataFlow):
         seed: int = 0,
         pool_size: Optional[int] = None,
         cache_size: Optional[int] = None,
+        importance: bool = False,
+        importance_alpha: float = 1.0,
     ):
         if isinstance(sampler, str) and sampler not in SAMPLER_NAMES:
             raise ValueError(
@@ -229,6 +237,12 @@ class SampledFlow(DataFlow):
             )
         if not isinstance(sampler, str) and not callable(sampler):
             raise ValueError("sampler must be a name or a callable")
+        if importance and sampler not in ("node", "edge"):
+            raise ValueError(
+                "importance sampling needs the node or edge sampler"
+            )
+        if importance_alpha < 0:
+            raise ValueError("importance_alpha must be >= 0")
         if batches_per_epoch < 1:
             raise ValueError("batches_per_epoch must be >= 1")
         if sample_size is not None and sample_size < 1:
@@ -244,6 +258,10 @@ class SampledFlow(DataFlow):
         self.n_hops = n_hops
         self.fanout = fanout
         self.seed = seed
+        #: Degree-weighted GraphSAINT importance sampling: batches carry
+        #: the unbiased ``loss_weights`` the engine's weighted losses use.
+        self.importance = importance
+        self.importance_alpha = importance_alpha
         self.pool_size = pool_size
         # Default the cache to span the whole pool: a pool cycling through
         # more slots than the LRU holds never hits and evicts (clearing the
@@ -260,7 +278,8 @@ class SampledFlow(DataFlow):
 
     def describe(self) -> str:
         label = self.sampler if isinstance(self.sampler, str) else "custom"
-        return f"sampled/{label}x{self.batches_per_epoch}"
+        suffix = "+imp" if self.importance else ""
+        return f"sampled/{label}x{self.batches_per_epoch}{suffix}"
 
     # ------------------------------------------------------------------
     def _labelled_floor(self, graph: Graph) -> int:
@@ -308,14 +327,19 @@ class SampledFlow(DataFlow):
             # named samplers below opt in to streamed generators).
             return self.sampler(graph, size, seed=int(rng.integers(1 << 31)))
         if self.sampler == "node":
-            return node_sampler(graph, size, seed=rng)
+            return node_sampler(
+                graph, size, seed=rng, importance=self.importance,
+                alpha=self.importance_alpha,
+            )
         if self.sampler == "edge":
             # sample_size counts edges on this path; the default splits the
             # edge set across the epoch's batches like _size does for nodes.
             n_edges = self.sample_size or max(
                 1, graph.n_edges // max(2 * self.batches_per_epoch, 2)
             )
-            return edge_sampler(graph, n_edges, seed=rng)
+            return edge_sampler(graph, n_edges, seed=rng,
+                                importance=self.importance,
+                                alpha=self.importance_alpha)
         if self.sampler == "walk":
             return random_walk_sampler(
                 graph, n_roots=size, walk_length=self.walk_length, seed=rng
@@ -446,6 +470,14 @@ class MicroBatchedFlow(DataFlow):
             return entry[1]
         self.merge_misses += 1
         merged = batch_graphs(group)
+        if merged.loss_weights is not None:
+            # Each member's weighted-sum loss estimates the full-graph mean
+            # on its own; the merged step computes ONE weighted sum over
+            # the union, so rescale to the mean of the member estimators —
+            # otherwise a K-way merge silently multiplies loss and
+            # gradients by K. (batch_graphs concatenates into a fresh
+            # array, so scaling here cannot alias member weights.)
+            merged.loss_weights = merged.loss_weights / len(group)
         self._merged[key] = (list(group), merged)
         self._merged.move_to_end(key)
         while len(self._merged) > self.cache_size:
@@ -785,6 +817,167 @@ class PrefetchFlow(DataFlow):
             self._cancel(job)
 
 
+class DistributedFlow(DataFlow):
+    """Simulated multi-GPU data-parallel execution of a schedulable flow.
+
+    The inner flow's deterministic epoch schedule is sharded into *rounds*
+    of up to ``replicas`` consecutive :class:`BatchPlan` entries: round
+    ``i`` assigns plan ``i * R + r`` to replica ``r``. The engine executes
+    each round as one data-parallel step — every replica's forward/backward
+    runs against its own gradient workspace, the gradients are all-reduced
+    in **fixed ascending replica order** (so trajectories are bit-identical
+    to the sequential inner flow at ``R = 1`` and seed-reproducible at any
+    ``R``), and a single optimizer step covers the round.
+
+    The flow doubles as the placement oracle: measured per-replica
+    wall-clock and edge loads accumulate via :meth:`note_replica_step`
+    (straggler skew, load balance through the gpusim balance metrics),
+    and :meth:`report` puts them next to the gpusim-modelled gradient
+    all-reduce volume, boundary-exchange cost and predicted scaling from
+    :mod:`repro.gpusim.multigpu`.
+    """
+
+    name = "distributed"
+
+    def __init__(self, inner: DataFlow, replicas: int, device=None):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.inner = inner
+        self.replicas = replicas
+        #: gpusim :class:`~repro.gpusim.device.DeviceModel` used by
+        #: :meth:`report` (defaults to the A100 the paper models).
+        self.device = device
+        self.reset_telemetry()
+
+    def describe(self) -> str:
+        return f"distributed[{self.replicas}]/{self.inner.describe()}"
+
+    # -- schedule ------------------------------------------------------
+    def plan(self, graph: Graph, epoch: int) -> Optional[List[BatchPlan]]:
+        return self.inner.plan(graph, epoch)
+
+    def batches(self, graph: Graph, epoch: int) -> Iterator[Graph]:
+        # Sequential fallback for consumers without round support — the
+        # batch *content* is identical, only the step grouping differs.
+        yield from self.inner.batches(graph, epoch)
+
+    def rounds(self, graph: Graph, epoch: int) -> List[List[BatchPlan]]:
+        """One epoch's schedule as replica-sharded data-parallel rounds."""
+        plans = self.inner.plan(graph, epoch)
+        if plans is None:
+            raise ValueError(
+                f"{self.inner.describe()} exposes no deterministic "
+                "schedule; DistributedFlow needs a plannable inner flow"
+            )
+        self.rounds_scheduled += -(-len(plans) // self.replicas)
+        return [
+            plans[start:start + self.replicas]
+            for start in range(0, len(plans), self.replicas)
+        ]
+
+    # -- telemetry -----------------------------------------------------
+    def reset_telemetry(self) -> None:
+        self.replica_seconds = np.zeros(self.replicas)
+        self.replica_edges = np.zeros(self.replicas)
+        self.replica_steps = np.zeros(self.replicas, dtype=np.int64)
+        self.rounds_scheduled = 0
+
+    def note_replica_step(self, replica: int, seconds: float,
+                          edges: int) -> None:
+        """Engine hook: one replica finished one forward/backward."""
+        self.replica_seconds[replica] += seconds
+        self.replica_edges[replica] += edges
+        self.replica_steps[replica] += 1
+
+    def measured(self) -> Dict[str, object]:
+        """Measured placement quality of the executed replica schedule.
+
+        ``straggler_skew`` is max/mean wall-clock across active replicas
+        (1.0 = perfectly level rounds); load efficiency/Gini reuse the
+        gpusim balance metrics on the per-replica edge loads — the same
+        yardstick the kernel-level "evil rows" analysis uses.
+        """
+        from ..gpusim.balance import gini, warp_efficiency
+
+        active = self.replica_seconds[self.replica_steps > 0]
+        skew = float(active.max() / active.mean()) if active.size else 1.0
+        return {
+            "replica_ms": [round(1e3 * s, 3) for s in self.replica_seconds],
+            "replica_edges": [int(e) for e in self.replica_edges],
+            "straggler_skew": skew,
+            "load_efficiency": warp_efficiency(self.replica_edges),
+            "load_gini": gini(self.replica_edges),
+            "rounds": int(self.rounds_scheduled),
+        }
+
+    # -- modelled placement --------------------------------------------
+    def report(
+        self,
+        graph: Graph,
+        hidden: int,
+        n_layers: int,
+        n_params: int,
+        k: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Measured wall-clock telemetry next to the gpusim cost model.
+
+        Always includes the ring all-reduce volume/latency of the round's
+        gradient exchange (``n_params`` float64 entries per replica). When
+        the inner flow is partitioned, the partition is folded onto the
+        replicas exactly as :meth:`rounds` places it and the
+        :class:`~repro.gpusim.multigpu.MultiGpuEpochModel` adds boundary
+        communication, modelled epoch latency and predicted scaling.
+        """
+        from ..gpusim import (
+            A100,
+            MultiGpuEpochModel,
+            partition_stats,
+            ring_allreduce_time,
+            shard_stats,
+        )
+
+        device = self.device if self.device is not None else A100
+        replicas = self.replicas
+        grad_bytes = 8.0 * n_params
+        plans = self.inner.plan(graph, 0)
+        n_rounds = -(-len(plans) // replicas) if plans else 0
+        per_round = (
+            2.0 * (replicas - 1) / replicas * grad_bytes if replicas > 1
+            else 0.0
+        )
+        report: Dict[str, object] = {
+            "replicas": replicas,
+            "rounds_per_epoch": n_rounds,
+            "allreduce_mb_per_epoch": round(n_rounds * per_round / 1e6, 6),
+            "allreduce_ms_per_epoch": round(
+                1e3 * n_rounds * ring_allreduce_time(grad_bytes, replicas), 6
+            ),
+        }
+        report.update(self.measured())
+        partition_for = getattr(self.inner, "partition_for", None)
+        if partition_for is not None:
+            stats = partition_stats(graph, partition_for(graph))
+            placed = shard_stats(stats, min(replicas, stats.n_parts))
+            model = MultiGpuEpochModel(
+                placed, hidden, n_layers, device,
+                boundary_fraction=getattr(
+                    self.inner, "boundary_fraction", 1.0
+                ),
+            )
+            epoch_s = (
+                model.maxk_epoch(k) if k is not None
+                else model.baseline_epoch()
+            )
+            report.update({
+                "modelled_epoch_ms": round(1e3 * epoch_s, 6),
+                "modelled_comm_fraction": round(
+                    model.communication_fraction(k), 6
+                ),
+                "predicted_scaling": round(model.predicted_scaling(k), 4),
+            })
+        return report
+
+
 class _PrefetchJob:
     """One epoch's plans plus the bounded hand-off queue to the consumer."""
 
@@ -801,17 +994,41 @@ class _PrefetchJob:
 def make_flow(
     flow: str, micro_batch: int = 1, prefetch: int = 0, **kwargs
 ) -> DataFlow:
-    """Build a flow by CLI name: ``full`` / ``sampled`` / ``partitioned``.
+    """Build a flow by CLI name: ``full`` / ``sampled`` / ``partitioned``
+    / ``distributed``.
 
     ``micro_batch > 1`` wraps the flow in a :class:`MicroBatchedFlow` that
     merges that many consecutive batches into one fused dense pass;
     ``prefetch > 0`` wraps the result in a :class:`PrefetchFlow` that
     builds up to that many batches ahead on a background thread.
+
+    ``distributed`` consumes ``replicas`` (simulated data-parallel width)
+    and ``inner`` (``partitioned``, the default, or ``sampled``); the
+    remaining kwargs configure that inner flow. It does not compose with
+    micro-batching or prefetch — rounds already group the schedule, and
+    the engine drives the builds synchronously per round.
     """
     if micro_batch < 1:
         raise ValueError("micro_batch must be >= 1")
     if prefetch < 0:
         raise ValueError("prefetch must be >= 0")
+    if flow == "distributed":
+        if micro_batch > 1 or prefetch > 0:
+            raise ValueError(
+                "distributed flow does not compose with micro_batch/prefetch"
+            )
+        replicas = kwargs.pop("replicas", 2)
+        inner_name = kwargs.pop("inner", "partitioned")
+        if inner_name == "sampled":
+            inner: DataFlow = SampledFlow(**kwargs)
+        elif inner_name == "partitioned":
+            inner = PartitionedFlow(**kwargs)
+        else:
+            raise ValueError(
+                f"unknown distributed inner {inner_name!r}; "
+                "options: ['partitioned', 'sampled']"
+            )
+        return DistributedFlow(inner, replicas)
     if flow == "full":
         built = FullGraphFlow()
     elif flow == "sampled":
@@ -820,7 +1037,8 @@ def make_flow(
         built = PartitionedFlow(**kwargs)
     else:
         raise ValueError(
-            f"unknown flow {flow!r}; options: ['full', 'sampled', 'partitioned']"
+            f"unknown flow {flow!r}; options: "
+            "['full', 'sampled', 'partitioned', 'distributed']"
         )
     if micro_batch > 1:
         built = MicroBatchedFlow(built, micro_batch)

@@ -13,20 +13,29 @@ streams.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..graphs import Graph
 from ..models import MaxKGNN
 from ..sparse.ops import get_backend
-from ..tensor import Adam, Tensor, bce_with_logits, cross_entropy, fused_ce, no_grad
-from .dataflow import DataFlow, FullGraphFlow
+from ..tensor import (
+    Adam,
+    Tensor,
+    bce_with_logits,
+    cross_entropy,
+    fused_ce,
+    no_grad,
+    weighted_cross_entropy,
+)
+from .dataflow import BatchPlan, DataFlow, FullGraphFlow
 from .metrics import accuracy, micro_f1, roc_auc
 from .schedulers import EarlyStopping
 
-__all__ = ["TrainResult", "Engine"]
+__all__ = ["TrainResult", "Engine", "ReplicaGradients"]
 
 
 @dataclass
@@ -52,6 +61,82 @@ class TrainResult:
     @property
     def final_test(self) -> float:
         return self.test_metrics[-1] if self.test_metrics else float("nan")
+
+
+class ReplicaGradients:
+    """Per-replica gradient workspaces plus the deterministic all-reduce.
+
+    Each simulated replica snapshots its backward pass into its own row of
+    one flat arena (the per-replica workspace — sized once, reused every
+    round). :meth:`reduce` then averages the participating replicas' rows
+    **in fixed ascending replica order** into the parameters' persistent
+    gradient buffers: the reduction order never depends on timing, so a
+    distributed run is exactly reproducible, and a one-replica round
+    degenerates to ``copy → divide by 1`` — bit-identical to handing the
+    optimizer the replica's own gradient.
+    """
+
+    def __init__(self, parameters: Sequence[Tensor], replicas: int):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.parameters = list(parameters)
+        self.replicas = replicas
+        self._spans: List[Tuple[int, int]] = []
+        offset = 0
+        for p in self.parameters:
+            self._spans.append((offset, offset + p.data.size))
+            offset += p.data.size
+        self._arena = np.empty((replicas, offset), dtype=np.float64)
+        self._present = np.zeros((replicas, len(self.parameters)), dtype=bool)
+        self._reduced = np.empty(offset, dtype=np.float64)
+
+    def capture(self, replica: int) -> None:
+        """Snapshot the parameters' current gradients as ``replica``'s.
+
+        Must run right after the replica's backward pass: the parameters'
+        gradient buffers are shared across replicas (they execute serially
+        on one simulated device), so the next replica's backward overwrites
+        them.
+        """
+        for index, (p, (lo, hi)) in enumerate(
+            zip(self.parameters, self._spans)
+        ):
+            present = p.grad is not None
+            self._present[replica, index] = present
+            if present:
+                self._arena[replica, lo:hi] = p.grad.ravel()
+
+    def reduce(self, participants: Sequence[int]) -> None:
+        """Average the participants' gradients into ``p.grad`` per param.
+
+        The divisor is the number of replicas that trained a batch this
+        round (the round objective is the mean of their losses); a
+        parameter no participant touched keeps ``grad = None`` so the
+        optimizer skips it, exactly as in sequential execution.
+        """
+        if not participants:
+            raise ValueError("reduce needs at least one participant")
+        scale = 1.0 / float(len(participants))
+        for index, (p, (lo, hi)) in enumerate(
+            zip(self.parameters, self._spans)
+        ):
+            sources = [r for r in participants
+                       if self._present[r, index]]
+            if not sources:
+                p.grad = None
+                continue
+            reduced = self._reduced[lo:hi]
+            np.copyto(reduced, self._arena[sources[0], lo:hi])
+            for replica in sources[1:]:
+                reduced += self._arena[replica, lo:hi]
+            reduced *= scale
+            shaped = reduced.reshape(p.data.shape)
+            buffer = p._grad_buffer
+            if buffer is not None and buffer.shape == p.data.shape:
+                np.copyto(buffer, shaped)
+                p.grad = buffer
+            else:
+                p.grad = shaped.copy()
 
 
 class Engine:
@@ -94,6 +179,7 @@ class Engine:
         self.early_stopping = early_stopping
         self._features = np.asarray(graph.features, dtype=np.float64)
         self._bound = model.graph
+        self._replica_grads: Optional[ReplicaGradients] = None
         # A prefetching flow builds future batches on a background thread;
         # hand it the model-specific warm-up (adjacency + backend
         # registration) so that work leaves the training critical path too.
@@ -127,8 +213,16 @@ class Engine:
             self._bound = subgraph
 
     def _loss(self, logits: Tensor, subgraph: Graph) -> Tensor:
+        weights = subgraph.loss_weights
         if subgraph.multilabel:
-            return bce_with_logits(logits, subgraph.labels, subgraph.train_mask)
+            return bce_with_logits(logits, subgraph.labels,
+                                   subgraph.train_mask, weights=weights)
+        if weights is not None:
+            # Importance-sampled batch: the weighted sum is the unbiased
+            # estimator of the full-graph mean loss (GraphSAINT norm).
+            return weighted_cross_entropy(
+                logits, subgraph.labels, weights, subgraph.train_mask
+            )
         if self.fused_loss and self.model.training:
             return fused_ce(
                 logits, subgraph.labels, subgraph.train_mask,
@@ -173,6 +267,79 @@ class Engine:
             loss_value = loss.item()
         return loss_value
 
+    # -- simulated data-parallel execution ------------------------------
+    def _replica_store(self, replicas: int) -> ReplicaGradients:
+        store = getattr(self, "_replica_grads", None)
+        if (
+            store is None
+            or store.replicas != replicas
+            or store.parameters != self.optimizer.parameters
+        ):
+            store = ReplicaGradients(self.optimizer.parameters, replicas)
+            self._replica_grads = store
+        return store
+
+    def _train_epoch_rounds(
+        self,
+        rounds: List[List[BatchPlan]],
+        steps_per_batch: int,
+        result: Optional[TrainResult],
+    ) -> float:
+        """One data-parallel epoch: a round of replica batches per step.
+
+        Replicas execute serially against the shared model (one simulated
+        device hosts them all), each snapshotting its gradients into its
+        own workspace row; the fixed-order all-reduce then averages the
+        round and a single optimizer step covers it. With one replica per
+        round this replays sequential execution bit for bit.
+        """
+        flow = self.flow
+        store = self._replica_store(flow.replicas)
+        note = getattr(flow, "note_replica_step", None)
+        losses: List[float] = []
+        for round_plans in rounds:
+            built: List[Tuple[int, BatchPlan, Graph]] = []
+            for replica, plan in enumerate(round_plans):
+                batch = plan.build()
+                mask = batch.train_mask
+                if mask is not None and not np.any(mask):
+                    plan.retire(batch)
+                    continue
+                built.append((replica, plan, batch))
+            if not built:
+                continue
+            participants = [replica for replica, _, _ in built]
+            last_loss: Dict[int, float] = {}
+            for _ in range(steps_per_batch):
+                for replica, _, batch in built:
+                    start = time.perf_counter()
+                    self._bind(batch)
+                    self.optimizer.zero_grad()
+                    features = (
+                        self._features if batch is self.graph
+                        else np.asarray(batch.features, dtype=np.float64)
+                    )
+                    logits = self.model(features)
+                    loss = self._loss(logits, batch)
+                    loss.backward()
+                    store.capture(replica)
+                    last_loss[replica] = loss.item()
+                    if note is not None:
+                        note(replica, time.perf_counter() - start,
+                             batch.n_edges)
+                store.reduce(participants)
+                self.optimizer.step()
+            for replica, plan, batch in built:
+                value = last_loss[replica]
+                losses.append(value)
+                if result is not None:
+                    result.batch_losses.append(value)
+                    result.batch_sizes.append(batch.n_nodes)
+                plan.retire(batch)
+        if not losses:
+            return float("nan")
+        return float(np.mean(losses))
+
     def train_epoch(
         self,
         epoch: int = 0,
@@ -182,8 +349,15 @@ class Engine:
         """Run one epoch of the flow; returns the mean batch loss.
 
         Batches whose training mask is present but empty are skipped (a
-        partition can land entirely outside the labelled split).
+        partition can land entirely outside the labelled split). A flow
+        exposing replica-sharded ``rounds`` (:class:`DistributedFlow`)
+        trains data-parallel: one all-reduced optimizer step per round.
         """
+        rounds_of = getattr(self.flow, "rounds", None)
+        if rounds_of is not None:
+            return self._train_epoch_rounds(
+                rounds_of(self.graph, epoch), steps_per_batch, result
+            )
         losses: List[float] = []
         for subgraph in self.flow.batches(self.graph, epoch):
             mask = subgraph.train_mask

@@ -1,0 +1,144 @@
+"""Tests for the benchmark trend checker gating the perf-smoke CI job."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_trend",
+    Path(__file__).parent.parent / "benchmarks" / "check_trend.py",
+)
+check_trend = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_trend)
+
+
+def _verdicts(baseline, current, tolerance=0.2, include_times=False):
+    return {
+        path: ok
+        for path, _, _, _, ok in check_trend.compare_file(
+            baseline, current, tolerance, include_times
+        )
+    }
+
+
+class TestCompareFile:
+    def test_speedup_regression_beyond_tolerance_fails(self):
+        verdicts = _verdicts({"a": {"speedup": 2.0}}, {"a": {"speedup": 1.5}})
+        assert verdicts == {"a.speedup": False}
+
+    def test_speedup_within_tolerance_passes(self):
+        verdicts = _verdicts({"a": {"speedup": 2.0}}, {"a": {"speedup": 1.7}})
+        assert verdicts == {"a.speedup": True}
+
+    def test_improvement_always_passes(self):
+        verdicts = _verdicts({"a": {"speedup": 2.0}}, {"a": {"speedup": 9.0}})
+        assert verdicts == {"a.speedup": True}
+
+    def test_scaling_and_efficiency_are_gated_ratios(self):
+        baseline = {"predicted_scaling": 1.0, "load_efficiency": 0.99}
+        current = {"predicted_scaling": 0.5, "load_efficiency": 0.99}
+        verdicts = _verdicts(baseline, current)
+        assert verdicts["predicted_scaling"] is False
+        assert verdicts["load_efficiency"] is True
+
+    def test_boolean_flags_must_not_flip_false(self):
+        verdicts = _verdicts(
+            {"x": {"identical": True, "finite": True}},
+            {"x": {"identical": False, "finite": True}},
+        )
+        assert verdicts == {"x.identical": False, "x.finite": True}
+
+    def test_false_baseline_boolean_is_not_gating(self):
+        verdicts = _verdicts({"x": {"identical": False}},
+                             {"x": {"identical": True}})
+        assert verdicts == {"x.identical": True}
+
+    def test_times_skipped_unless_requested(self):
+        baseline = {"epoch_ms": 10.0}
+        current = {"epoch_ms": 100.0}
+        assert _verdicts(baseline, current) == {}
+        verdicts = _verdicts(baseline, current, include_times=True)
+        assert verdicts == {"epoch_ms": False}
+
+    def test_disjoint_keys_are_ignored(self):
+        verdicts = _verdicts({"only_base": {"speedup": 2.0}},
+                             {"only_cur": {"speedup": 1.0}})
+        assert verdicts == {}
+
+    def test_nested_backend_sections_compare_leaf_by_leaf(self):
+        baseline = {"prefetch[scipy]": {"speedup": 1.0},
+                    "blocked[vectorized]": {"speedup": 4.0}}
+        current = {"prefetch[scipy]": {"speedup": 1.02}}
+        verdicts = _verdicts(baseline, current)
+        assert verdicts == {"prefetch[scipy].speedup": True}
+
+    def test_noise_floor_reports_but_never_gates_small_ratios(self):
+        """A ~1.0x baseline (a path only asserted 'does not regress') must
+        not flake CI when a smoke run on another host wobbles below the
+        tolerance; it keeps its own in-benchmark floor instead."""
+        rows = list(check_trend.compare_file(
+            {"speedup": 1.05}, {"speedup": 0.5}, 0.2, False,
+            noise_floor=1.15,
+        ))
+        assert rows == [("speedup", "ratio-info", 1.05, 0.5, True)]
+        # Above the floor, gating is strict again.
+        rows = list(check_trend.compare_file(
+            {"speedup": 1.5}, {"speedup": 0.5}, 0.2, False,
+            noise_floor=1.15,
+        ))
+        assert rows == [("speedup", "ratio", 1.5, 0.5, False)]
+
+
+class TestMain:
+    def _write(self, directory, name, payload):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / name).write_text(json.dumps(payload))
+
+    def test_exit_zero_when_clean(self, tmp_path):
+        self._write(tmp_path / "base", "BENCH_x.json", {"speedup": 2.0})
+        self._write(tmp_path / "cur", "BENCH_x.json", {"speedup": 2.1})
+        assert check_trend.main([
+            "--baseline", str(tmp_path / "base"),
+            "--current", str(tmp_path / "cur"),
+        ]) == 0
+
+    def test_exit_one_on_regression(self, tmp_path):
+        self._write(tmp_path / "base", "BENCH_x.json", {"speedup": 2.0})
+        self._write(tmp_path / "cur", "BENCH_x.json", {"speedup": 1.0})
+        assert check_trend.main([
+            "--baseline", str(tmp_path / "base"),
+            "--current", str(tmp_path / "cur"),
+        ]) == 1
+
+    def test_missing_current_results_fail(self, tmp_path):
+        (tmp_path / "cur").mkdir()
+        assert check_trend.main([
+            "--baseline", str(tmp_path),
+            "--current", str(tmp_path / "cur"),
+        ]) == 1
+
+    def test_new_benchmark_without_baseline_passes(self, tmp_path):
+        self._write(tmp_path / "cur", "BENCH_new.json", {"speedup": 1.0})
+        (tmp_path / "base").mkdir()
+        assert check_trend.main([
+            "--baseline", str(tmp_path / "base"),
+            "--current", str(tmp_path / "cur"),
+        ]) == 0
+
+    def test_tolerance_flag_widens_the_floor(self, tmp_path):
+        self._write(tmp_path / "base", "BENCH_x.json", {"speedup": 2.0})
+        self._write(tmp_path / "cur", "BENCH_x.json", {"speedup": 1.5})
+        args = ["--baseline", str(tmp_path / "base"),
+                "--current", str(tmp_path / "cur")]
+        assert check_trend.main(args) == 1
+        assert check_trend.main(args + ["--tolerance", "0.30"]) == 0
+
+    def test_gate_all_overrides_the_noise_floor(self, tmp_path):
+        self._write(tmp_path / "base", "BENCH_x.json", {"speedup": 1.05})
+        self._write(tmp_path / "cur", "BENCH_x.json", {"speedup": 0.5})
+        args = ["--baseline", str(tmp_path / "base"),
+                "--current", str(tmp_path / "cur")]
+        assert check_trend.main(args) == 0  # inside the noise floor
+        assert check_trend.main(args + ["--gate-all"]) == 1
