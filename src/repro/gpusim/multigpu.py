@@ -172,16 +172,75 @@ class MultiGpuEpochModel:
         edges = self.stats.edges_per_part[part]
         return SparsePattern(n_rows=nodes, n_cols=nodes, nnz=edges)
 
-    def _comm_time(self, bytes_per_boundary_row: float) -> float:
-        """Per-layer boundary exchange: the largest sender bounds the round."""
-        rows = [
-            b * self.boundary_fraction for b in self.stats.boundary_per_part
-        ]
-        worst = max(rows) if rows else 0.0
-        volume = worst * bytes_per_boundary_row
+    def _comm_rows(self, boundary_rows: float,
+                   bytes_per_boundary_row: float) -> float:
+        """One boundary exchange whose largest sender ships ``boundary_rows``."""
+        volume = boundary_rows * self.boundary_fraction * bytes_per_boundary_row
         return COMM_LATENCY + volume / (
             self.nvlink_bandwidth * NVLINK_UTILIZATION
         )
+
+    def _comm_time(self, bytes_per_boundary_row: float) -> float:
+        """Per-layer boundary exchange: the largest sender bounds the round."""
+        rows = self.stats.boundary_per_part
+        worst = max(rows) if rows else 0.0
+        return self._comm_rows(worst, bytes_per_boundary_row)
+
+    def _part_latency(self, part: int, k: int = None) -> float:
+        """Per-layer kernel latency of one partition (no communication)."""
+        pattern = self._part_pattern(part)
+        if k is None:
+            return 2.0 * cusparse_spmm_cost(
+                pattern, self.hidden, self.device
+            ).latency
+        if not 1 <= k <= self.hidden:
+            raise ValueError("k must be in [1, hidden]")
+        return (
+            spgemm_cost(pattern, self.hidden, k, self.device).latency
+            + sspmm_cost(pattern, self.hidden, k, self.device).latency
+            + maxk_kernel_cost(
+                max(self.stats.nodes_per_part[part], 1),
+                self.hidden, k, self.device,
+            ).latency
+        )
+
+    def _round_costs(self, replicas: int, k: int = None) -> tuple:
+        """(kernel, comm) seconds of the R-replica round-sharded epoch.
+
+        Mirrors :meth:`~repro.training.dataflow.DistributedFlow.rounds`:
+        round ``i`` trains partitions ``[i*R, (i+1)*R)`` concurrently, so
+        each round costs its straggler part (max per-part latency) plus a
+        boundary exchange bounded by the round's largest sender. A round
+        with a single active part exchanges nothing — its halo is a local
+        copy, exactly like the serial sweep.
+        """
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        kernel = 0.0
+        comm = 0.0
+        for start in range(0, self.stats.n_parts, replicas):
+            parts = range(start, min(start + replicas, self.stats.n_parts))
+            kernel += self.n_layers * max(
+                self._part_latency(p, k) for p in parts
+            )
+            if len(parts) == 1:
+                continue
+            worst = max(self.stats.boundary_per_part[p] for p in parts)
+            if k is None:
+                comm += self.n_layers * 2.0 * self._comm_rows(
+                    worst, 4.0 * self.hidden
+                )
+            else:
+                comm += self.n_layers * (
+                    self._comm_rows(worst, 5.0 * k)
+                    + self._comm_rows(worst, 4.0 * k)
+                )
+        return kernel, comm
+
+    def round_epoch(self, replicas: int, k: int = None) -> float:
+        """Epoch latency of R replicas training the partitions in rounds."""
+        kernel, comm = self._round_costs(replicas, k)
+        return kernel + comm
 
     # ------------------------------------------------------------------
     def baseline_epoch(self) -> float:
@@ -254,19 +313,47 @@ class MultiGpuEpochModel:
         )
         return self.n_layers * (kernel + selection)
 
-    def predicted_scaling(self, k: int = None) -> float:
-        """Modelled speedup of P-replica execution over the serial sweep.
+    def predicted_scaling(self, k: int = None, replicas: int = None) -> float:
+        """Modelled speedup of replica-parallel execution over the serial
+        sweep of the same partitions.
 
-        Bounded above by P; communication and the straggler replica (the
-        ``max`` in the parallel epoch) erode it — exactly the two effects
-        :class:`~repro.training.dataflow.DistributedFlow` reports measured
-        counterparts for.
+        With ``replicas`` given, the parallel time is :meth:`round_epoch`
+        on THESE stats — the R-replica round schedule over the original
+        partitions. The denominator (:meth:`serial_epoch`) sums the very
+        same per-part costs, so the ratio is comparable across R: the sum
+        of per-round straggler maxima is at least ``serial / R``, which
+        bounds the result by ``R``, and per-round boundary communication
+        only lowers it — on partitions small enough that the fixed
+        ``COMM_LATENCY`` term rivals the kernel time, scaling can drop
+        below 1.0 (parallelism that costs more than it saves). Expected
+        range: ``(0, R]``, approaching R on balanced, compute-bound parts.
+
+        Earlier revisions folded the partitions onto the replicas
+        (:func:`shard_stats`) *before* modelling both sides, which made
+        the serial denominator R-dependent (merged parts amortise fixed
+        per-kernel overheads) and produced incomparable values across R
+        — e.g. 0.56 at R=2 vs 1.11 at R=4 on identical partitions.
+
+        Without ``replicas`` the historical one-part-per-GPU reading is
+        kept: parallel time is :meth:`baseline_epoch` / :meth:`maxk_epoch`
+        (all P parts concurrent), bounded by P the same way.
         """
-        parallel = self.baseline_epoch() if k is None else self.maxk_epoch(k)
+        if replicas is None:
+            parallel = (
+                self.baseline_epoch() if k is None else self.maxk_epoch(k)
+            )
+        else:
+            parallel = self.round_epoch(replicas, k)
         return self.serial_epoch(k) / parallel
 
-    def communication_fraction(self, k: int = None) -> float:
-        """Share of the epoch spent exchanging boundaries."""
+    def communication_fraction(self, k: int = None,
+                               replicas: int = None) -> float:
+        """Share of the (round-sharded, if ``replicas`` given) epoch spent
+        exchanging boundaries."""
+        if replicas is not None:
+            kernel, comm = self._round_costs(replicas, k)
+            total = kernel + comm
+            return comm / total if total > 0 else 0.0
         if k is None:
             comm = 2 * self.n_layers * self._comm_time(4.0 * self.hidden)
             return comm / self.baseline_epoch()

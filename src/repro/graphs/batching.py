@@ -30,6 +30,48 @@ def _stack_payload(parts, converter=np.concatenate) -> Optional[np.ndarray]:
     return converter([np.asarray(p) for p in parts])
 
 
+def _implicit_loss_weights(graph: Graph) -> np.ndarray:
+    """The per-node weights an *unweighted* member implicitly trains with.
+
+    The engine's unweighted losses are masked means, i.e. every labelled
+    training row carries weight ``1 / n_labelled`` (and unmasked graphs
+    average all rows); the weighted-sum losses reproduce exactly that
+    estimator when handed these weights. Materialising them is what lets
+    a weighted member (e.g. an importance-sampled batch) merge with an
+    unweighted one without dropping or misaligning either payload.
+    """
+    mask = graph.train_mask
+    if mask is None:
+        n_rows = graph.n_nodes
+        fill = 1.0 / n_rows if n_rows else 0.0
+        return np.full(graph.n_nodes, fill, dtype=np.float64)
+    mask = np.asarray(mask, dtype=bool)
+    weights = np.zeros(mask.shape[0], dtype=np.float64)
+    labelled = int(mask.sum())
+    if labelled:
+        weights[mask] = 1.0 / labelled
+    return weights
+
+
+def _stack_loss_weights(graphs) -> Optional[np.ndarray]:
+    """Concatenate ``loss_weights``, filling unweighted members in a mix.
+
+    All-absent stays ``None`` (the merged graph trains unweighted); an
+    all-present merge concatenates unchanged. A *mixed* merge fills each
+    unweighted member with its implicit uniform weights — unbiased, since
+    each member's weighted sum then still equals its own loss estimator —
+    instead of rejecting or silently misaligning the payload.
+    """
+    weights = [g.loss_weights for g in graphs]
+    if all(w is None for w in weights):
+        return None
+    return np.concatenate([
+        np.asarray(w, dtype=np.float64) if w is not None
+        else _implicit_loss_weights(g)
+        for g, w in zip(graphs, weights)
+    ])
+
+
 def batch_graphs(graphs: Sequence[Graph]) -> Graph:
     """Disjoint union of ``graphs``: node ids offset, payloads concatenated.
 
@@ -37,7 +79,9 @@ def batch_graphs(graphs: Sequence[Graph]) -> Graph:
     features, labels, masks and communities are stacked row-wise in member
     order. Multi-label members stack their label matrices; single-label
     members concatenate label vectors — mixing the two is rejected, as is
-    an empty sequence.
+    an empty sequence. ``loss_weights`` may be mixed: unweighted members
+    are filled with their implicit uniform weights (see
+    :func:`_stack_loss_weights`) so a weighted member merges losslessly.
     """
     graphs = list(graphs)
     if not graphs:
@@ -67,5 +111,5 @@ def batch_graphs(graphs: Sequence[Graph]) -> Graph:
         name=f"batch[{len(graphs)}x{graphs[0].name}]",
         multilabel=multilabel,
         communities=_stack_payload([g.communities for g in graphs]),
-        loss_weights=_stack_payload([g.loss_weights for g in graphs]),
+        loss_weights=_stack_loss_weights(graphs),
     )

@@ -839,18 +839,30 @@ class DistributedFlow(DataFlow):
 
     name = "distributed"
 
-    def __init__(self, inner: DataFlow, replicas: int, device=None):
+    def __init__(self, inner: DataFlow, replicas: int, device=None,
+                 grad_topk: Optional[int] = None):
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
+        if grad_topk is not None and grad_topk < 1:
+            raise ValueError("grad_topk must be >= 1")
         self.inner = inner
         self.replicas = replicas
         #: gpusim :class:`~repro.gpusim.device.DeviceModel` used by
         #: :meth:`report` (defaults to the A100 the paper models).
         self.device = device
+        #: Per-tensor entry budget of the compressed gradient exchange
+        #: (``None`` = dense float64 all-reduce, the bit-identical
+        #: default). The engine forwards this to
+        #: :class:`~repro.training.engine.ReplicaGradients`.
+        self.grad_topk = grad_topk
         self.reset_telemetry()
 
     def describe(self) -> str:
-        return f"distributed[{self.replicas}]/{self.inner.describe()}"
+        tag = (
+            f"{self.replicas}" if self.grad_topk is None
+            else f"{self.replicas},top{self.grad_topk}"
+        )
+        return f"distributed[{tag}]/{self.inner.describe()}"
 
     # -- schedule ------------------------------------------------------
     def plan(self, graph: Graph, epoch: int) -> Optional[List[BatchPlan]]:
@@ -881,6 +893,12 @@ class DistributedFlow(DataFlow):
         self.replica_edges = np.zeros(self.replicas)
         self.replica_steps = np.zeros(self.replicas, dtype=np.int64)
         self.rounds_scheduled = 0
+        #: Per-replica bytes of the last executed gradient exchange (the
+        #: engine reports them after every reduce): the dense float64
+        #: figure and what actually went on the modelled wire.
+        self.grad_dense_per_round = 0
+        self.grad_payload_per_round = 0
+        self.grad_exchanges = 0
 
     def note_replica_step(self, replica: int, seconds: float,
                           edges: int) -> None:
@@ -888,6 +906,13 @@ class DistributedFlow(DataFlow):
         self.replica_seconds[replica] += seconds
         self.replica_edges[replica] += edges
         self.replica_steps[replica] += 1
+
+    def note_gradient_exchange(self, dense_nbytes: int,
+                               payload_nbytes: int) -> None:
+        """Engine hook: one all-reduce completed with these payload sizes."""
+        self.grad_dense_per_round = int(dense_nbytes)
+        self.grad_payload_per_round = int(payload_nbytes)
+        self.grad_exchanges += 1
 
     def measured(self) -> Dict[str, object]:
         """Measured placement quality of the executed replica schedule.
@@ -922,58 +947,80 @@ class DistributedFlow(DataFlow):
         """Measured wall-clock telemetry next to the gpusim cost model.
 
         Always includes the ring all-reduce volume/latency of the round's
-        gradient exchange (``n_params`` float64 entries per replica). When
-        the inner flow is partitioned, the partition is folded onto the
-        replicas exactly as :meth:`rounds` places it and the
-        :class:`~repro.gpusim.multigpu.MultiGpuEpochModel` adds boundary
-        communication, modelled epoch latency and predicted scaling.
+        gradient exchange. The dense exchange ships ``n_params`` float64
+        entries per replica; with :attr:`grad_topk` set (and at least one
+        executed round, which records the store's exact CBSR byte
+        accounting) the priced payload shrinks to the k-proportional
+        compressed form, and the report adds the compression ratio plus
+        the modelled communication-volume reduction. When the inner flow
+        is partitioned, the round-sharded
+        :class:`~repro.gpusim.multigpu.MultiGpuEpochModel` schedule (the
+        same rounds :meth:`rounds` executes, over the *original*
+        partitions) adds boundary communication, modelled epoch latency
+        and predicted scaling with an R-independent serial denominator.
         """
         from ..gpusim import (
             A100,
             MultiGpuEpochModel,
             partition_stats,
             ring_allreduce_time,
-            shard_stats,
         )
 
         device = self.device if self.device is not None else A100
         replicas = self.replicas
-        grad_bytes = 8.0 * n_params
+        dense_bytes = 8.0 * n_params
+        if self.grad_exchanges > 0:
+            # Exact per-replica figures recorded from the executed store.
+            dense_bytes = float(self.grad_dense_per_round)
+            wire_bytes = float(self.grad_payload_per_round)
+        else:
+            # Never trained: price the default dense exchange (a top-k
+            # payload needs the store's per-tensor spans to be exact).
+            wire_bytes = dense_bytes
         plans = self.inner.plan(graph, 0)
         n_rounds = -(-len(plans) // replicas) if plans else 0
-        per_round = (
-            2.0 * (replicas - 1) / replicas * grad_bytes if replicas > 1
-            else 0.0
-        )
+
+        def epoch_mb(nbytes: float) -> float:
+            per_round = (
+                2.0 * (replicas - 1) / replicas * nbytes if replicas > 1
+                else 0.0
+            )
+            return round(n_rounds * per_round / 1e6, 6)
+
+        compression = dense_bytes / wire_bytes if wire_bytes > 0 else 1.0
         report: Dict[str, object] = {
             "replicas": replicas,
             "rounds_per_epoch": n_rounds,
-            "allreduce_mb_per_epoch": round(n_rounds * per_round / 1e6, 6),
+            "grad_topk": 0 if self.grad_topk is None else self.grad_topk,
+            "allreduce_mb_per_epoch": epoch_mb(wire_bytes),
+            "dense_allreduce_mb_per_epoch": epoch_mb(dense_bytes),
             "allreduce_ms_per_epoch": round(
-                1e3 * n_rounds * ring_allreduce_time(grad_bytes, replicas), 6
+                1e3 * n_rounds * ring_allreduce_time(wire_bytes, replicas), 6
             ),
+            "grad_compression_ratio": round(compression, 4),
+            "comm_volume_reduction_speedup": round(compression, 4),
         }
         report.update(self.measured())
         partition_for = getattr(self.inner, "partition_for", None)
         if partition_for is not None:
             stats = partition_stats(graph, partition_for(graph))
-            placed = shard_stats(stats, min(replicas, stats.n_parts))
             model = MultiGpuEpochModel(
-                placed, hidden, n_layers, device,
+                stats, hidden, n_layers, device,
                 boundary_fraction=getattr(
                     self.inner, "boundary_fraction", 1.0
                 ),
             )
-            epoch_s = (
-                model.maxk_epoch(k) if k is not None
-                else model.baseline_epoch()
-            )
+            sharded = min(replicas, stats.n_parts)
             report.update({
-                "modelled_epoch_ms": round(1e3 * epoch_s, 6),
-                "modelled_comm_fraction": round(
-                    model.communication_fraction(k), 6
+                "modelled_epoch_ms": round(
+                    1e3 * model.round_epoch(sharded, k), 6
                 ),
-                "predicted_scaling": round(model.predicted_scaling(k), 4),
+                "modelled_comm_fraction": round(
+                    model.communication_fraction(k, replicas=sharded), 6
+                ),
+                "predicted_scaling": round(
+                    model.predicted_scaling(k, replicas=sharded), 4
+                ),
             })
         return report
 
@@ -1002,8 +1049,9 @@ def make_flow(
     ``prefetch > 0`` wraps the result in a :class:`PrefetchFlow` that
     builds up to that many batches ahead on a background thread.
 
-    ``distributed`` consumes ``replicas`` (simulated data-parallel width)
-    and ``inner`` (``partitioned``, the default, or ``sampled``); the
+    ``distributed`` consumes ``replicas`` (simulated data-parallel width),
+    ``grad_topk`` (optional top-k gradient-exchange compression) and
+    ``inner`` (``partitioned``, the default, or ``sampled``); the
     remaining kwargs configure that inner flow. It does not compose with
     micro-batching or prefetch — rounds already group the schedule, and
     the engine drives the builds synchronously per round.
@@ -1018,6 +1066,7 @@ def make_flow(
                 "distributed flow does not compose with micro_batch/prefetch"
             )
         replicas = kwargs.pop("replicas", 2)
+        grad_topk = kwargs.pop("grad_topk", None)
         inner_name = kwargs.pop("inner", "partitioned")
         if inner_name == "sampled":
             inner: DataFlow = SampledFlow(**kwargs)
@@ -1028,7 +1077,7 @@ def make_flow(
                 f"unknown distributed inner {inner_name!r}; "
                 "options: ['partitioned', 'sampled']"
             )
-        return DistributedFlow(inner, replicas)
+        return DistributedFlow(inner, replicas, grad_topk=grad_topk)
     if flow == "full":
         built = FullGraphFlow()
     elif flow == "sampled":

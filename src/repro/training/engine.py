@@ -19,12 +19,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.cbsr import CBSRMatrix, index_dtype_for
 from ..graphs import Graph
 from ..models import MaxKGNN
-from ..sparse.ops import get_backend
+from ..sparse.ops import get_backend, topk_mask
 from ..tensor import (
     Adam,
     Tensor,
+    Workspace,
     bce_with_logits,
     cross_entropy,
     fused_ce,
@@ -74,13 +76,32 @@ class ReplicaGradients:
     distributed run is exactly reproducible, and a one-replica round
     degenerates to ``copy → divide by 1`` — bit-identical to handing the
     optimizer the replica's own gradient.
+
+    With ``topk`` set, the exchange is compressed with the paper's own
+    selection primitive: every replica adds its per-parameter error
+    residual to the fresh gradient, keeps only the ``min(topk, dim)``
+    largest-magnitude entries (ties → lower index, the CBSR compaction
+    rule), contributes exactly those to the fixed-order reduction, and
+    stores the dropped mass back into its residual row — classic
+    error-feedback top-k SGD, so no gradient mass is ever lost, merely
+    delayed. Selection runs through :func:`repro.sparse.ops.topk_mask`
+    with a private :class:`~repro.tensor.workspace.Workspace`, so the
+    steady-state sparse reduce performs no fresh large allocations. The
+    modelled wire format is CBSR (:attr:`payload_nbytes` prices fp32
+    values plus the narrowest index dtype per tensor;
+    :meth:`payload_cbsr` materialises the actual payload for tests);
+    the dense path (``topk=None``) is byte-for-byte the historical code.
     """
 
-    def __init__(self, parameters: Sequence[Tensor], replicas: int):
+    def __init__(self, parameters: Sequence[Tensor], replicas: int,
+                 topk: Optional[int] = None):
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
+        if topk is not None and topk < 1:
+            raise ValueError("topk must be >= 1")
         self.parameters = list(parameters)
         self.replicas = replicas
+        self.topk = topk
         self._spans: List[Tuple[int, int]] = []
         offset = 0
         for p in self.parameters:
@@ -89,6 +110,33 @@ class ReplicaGradients:
         self._arena = np.empty((replicas, offset), dtype=np.float64)
         self._present = np.zeros((replicas, len(self.parameters)), dtype=bool)
         self._reduced = np.empty(offset, dtype=np.float64)
+        #: Bytes one replica ships per round on the dense float64 exchange.
+        self.dense_nbytes = 8 * offset
+        if topk is None:
+            self.payload_nbytes = self.dense_nbytes
+            return
+        self._topk_per_param = [
+            min(topk, hi - lo) for lo, hi in self._spans
+        ]
+        # Error-feedback residuals: one persistent row per replica, zero
+        # at the start of training (the first round's corrected gradient
+        # is just the gradient).
+        self._residual = np.zeros((replicas, offset), dtype=np.float64)
+        self._workspace = Workspace()
+        #: Bytes one replica ships per round in CBSR form: fp32 value +
+        #: the narrowest index dtype that spans each tensor's flat size.
+        self.payload_nbytes = sum(
+            k * (4 + index_dtype_for(hi - lo).itemsize)
+            for k, (lo, hi) in zip(self._topk_per_param, self._spans)
+            if hi > lo
+        )
+
+    @property
+    def compression_ratio(self) -> float:
+        """Dense-exchange bytes over compressed-payload bytes (1.0 dense)."""
+        if self.payload_nbytes <= 0:
+            return 1.0
+        return self.dense_nbytes / self.payload_nbytes
 
     def capture(self, replica: int) -> None:
         """Snapshot the parameters' current gradients as ``replica``'s.
@@ -112,11 +160,17 @@ class ReplicaGradients:
         The divisor is the number of replicas that trained a batch this
         round (the round objective is the mean of their losses); a
         parameter no participant touched keeps ``grad = None`` so the
-        optimizer skips it, exactly as in sequential execution.
+        optimizer skips it, exactly as in sequential execution. With
+        ``topk`` set, each participant contributes its top-k-selected,
+        residual-corrected entries instead of its full row (see the class
+        docstring); the fixed ascending order is unchanged.
         """
         if not participants:
             raise ValueError("reduce needs at least one participant")
         scale = 1.0 / float(len(participants))
+        if self.topk is not None:
+            self._reduce_sparse(participants, scale)
+            return
         for index, (p, (lo, hi)) in enumerate(
             zip(self.parameters, self._spans)
         ):
@@ -130,13 +184,89 @@ class ReplicaGradients:
             for replica in sources[1:]:
                 reduced += self._arena[replica, lo:hi]
             reduced *= scale
-            shaped = reduced.reshape(p.data.shape)
-            buffer = p._grad_buffer
-            if buffer is not None and buffer.shape == p.data.shape:
-                np.copyto(buffer, shaped)
-                p.grad = buffer
-            else:
-                p.grad = shaped.copy()
+            self._adopt(p, reduced)
+
+    def _adopt(self, p: Tensor, reduced: np.ndarray) -> None:
+        """Hand the reduced row to ``p.grad`` via its persistent buffer."""
+        shaped = reduced.reshape(p.data.shape)
+        buffer = p._grad_buffer
+        if buffer is not None and buffer.shape == p.data.shape:
+            np.copyto(buffer, shaped)
+            p.grad = buffer
+        else:
+            p.grad = shaped.copy()
+
+    def _reduce_sparse(self, participants: Sequence[int],
+                       scale: float) -> None:
+        """Top-k + error-feedback all-reduce in fixed ascending order.
+
+        Per parameter and participant (ascending): add the residual row to
+        the captured gradient in place (the *corrected* gradient), select
+        the ``k`` largest-magnitude entries with the backend's
+        :func:`~repro.sparse.ops.topk_mask` (float mask — exact 0.0/1.0,
+        so the multiply needs no casting buffer), accumulate only the
+        selection, and subtract it back out of the residual row: selected
+        entries zero exactly, dropped entries keep their full corrected
+        mass for the next round. All scratch lives in the store's private
+        workspace, so the steady state allocates nothing per round.
+        """
+        workspace = self._workspace
+        for index, (p, (lo, hi)) in enumerate(
+            zip(self.parameters, self._spans)
+        ):
+            sources = [r for r in participants
+                       if self._present[r, index]]
+            if not sources:
+                p.grad = None
+                continue
+            dim = hi - lo
+            k = self._topk_per_param[index]
+            reduced = self._reduced[lo:hi]
+            for position, replica in enumerate(sources):
+                corrected = self._residual[replica, lo:hi]
+                corrected += self._arena[replica, lo:hi]
+                if k == dim:
+                    selected = corrected
+                else:
+                    row = corrected.reshape(1, dim)
+                    magnitude = workspace.buffer("grad-abs", (1, dim))
+                    np.abs(row, out=magnitude)
+                    mask = workspace.buffer("grad-mask", (1, dim))
+                    topk_mask(magnitude, k, out=mask,
+                              workspace=workspace, slot="grad-topk")
+                    picked = workspace.buffer("grad-selected", (1, dim))
+                    np.multiply(row, mask, out=picked)
+                    selected = picked.reshape(dim)
+                if position == 0:
+                    np.copyto(reduced, selected)
+                else:
+                    reduced += selected
+                corrected -= selected
+            reduced *= scale
+            self._adopt(p, reduced)
+
+    def payload_cbsr(self, replica: int) -> List[CBSRMatrix]:
+        """The CBSR payloads ``replica`` would ship in the *next* reduce.
+
+        One ``(1, dim)`` :class:`~repro.core.cbsr.CBSRMatrix` per
+        parameter, compressing residual + captured gradient with the same
+        magnitude top-k (ties → lower column) the in-place reduce applies;
+        their summed :meth:`~repro.core.cbsr.CBSRMatrix.storage_bytes`
+        equals :attr:`payload_nbytes`. Diagnostic/test path — the hot
+        reduce never materialises these objects.
+        """
+        if self.topk is None:
+            raise ValueError("payload_cbsr needs a top-k store")
+        payloads = []
+        for index, (lo, hi) in enumerate(self._spans):
+            dim = hi - lo
+            corrected = self._residual[replica, lo:hi].copy()
+            if self._present[replica, index]:
+                corrected += self._arena[replica, lo:hi]
+            payloads.append(CBSRMatrix.from_dense_rows(
+                corrected.reshape(1, dim), self._topk_per_param[index]
+            ))
+        return payloads
 
 
 class Engine:
@@ -268,14 +398,17 @@ class Engine:
         return loss_value
 
     # -- simulated data-parallel execution ------------------------------
-    def _replica_store(self, replicas: int) -> ReplicaGradients:
+    def _replica_store(self, replicas: int,
+                       topk: Optional[int] = None) -> ReplicaGradients:
         store = getattr(self, "_replica_grads", None)
         if (
             store is None
             or store.replicas != replicas
+            or store.topk != topk
             or store.parameters != self.optimizer.parameters
         ):
-            store = ReplicaGradients(self.optimizer.parameters, replicas)
+            store = ReplicaGradients(self.optimizer.parameters, replicas,
+                                     topk=topk)
             self._replica_grads = store
         return store
 
@@ -294,8 +427,11 @@ class Engine:
         round this replays sequential execution bit for bit.
         """
         flow = self.flow
-        store = self._replica_store(flow.replicas)
+        store = self._replica_store(
+            flow.replicas, getattr(flow, "grad_topk", None)
+        )
         note = getattr(flow, "note_replica_step", None)
+        note_exchange = getattr(flow, "note_gradient_exchange", None)
         losses: List[float] = []
         for round_plans in rounds:
             built: List[Tuple[int, BatchPlan, Graph]] = []
@@ -307,6 +443,12 @@ class Engine:
                     continue
                 built.append((replica, plan, batch))
             if not built:
+                # Nothing trained this round, so nothing may step: clear
+                # any gradients left over from the previous round's reduce
+                # before skipping, or a later consumer could mistake them
+                # for this round's (stale-gradient hazard).
+                for p in store.parameters:
+                    p.grad = None
                 continue
             participants = [replica for replica, _, _ in built]
             last_loss: Dict[int, float] = {}
@@ -328,6 +470,8 @@ class Engine:
                         note(replica, time.perf_counter() - start,
                              batch.n_edges)
                 store.reduce(participants)
+                if note_exchange is not None:
+                    note_exchange(store.dense_nbytes, store.payload_nbytes)
                 self.optimizer.step()
             for replica, plan, batch in built:
                 value = last_loss[replica]

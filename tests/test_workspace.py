@@ -526,6 +526,73 @@ class TestBatchGraphs:
         lone = self._labelled(20, 1)
         assert batch_graphs([lone]) is lone
 
+    def _weighted(self, n, seed):
+        graph = self._labelled(n, seed)
+        rng = np.random.default_rng(seed)
+        mask = np.asarray(graph.train_mask, dtype=bool)
+        weights = np.zeros(graph.n_nodes)
+        weights[mask] = rng.random(int(mask.sum())) + 0.1
+        weights[mask] /= weights[mask].sum()
+        graph.loss_weights = weights
+        return graph
+
+    def test_mixed_loss_weights_fill_implicit_uniform(self):
+        """Merging a weighted member with an unweighted one must fill the
+        unweighted member's implicit uniform weights (1/n_labelled on its
+        training rows), not drop or misalign the payload."""
+        weighted, plain = self._weighted(24, 1), self._labelled(30, 2)
+        merged = batch_graphs([weighted, plain])
+        assert merged.loss_weights is not None
+        assert merged.loss_weights.shape == (54,)
+        np.testing.assert_array_equal(
+            merged.loss_weights[:24], weighted.loss_weights
+        )
+        mask = np.asarray(plain.train_mask, dtype=bool)
+        expected = np.zeros(30)
+        expected[mask] = 1.0 / mask.sum()
+        np.testing.assert_allclose(merged.loss_weights[24:], expected)
+        # Member order must not matter for the fill.
+        flipped = batch_graphs([plain, weighted])
+        np.testing.assert_allclose(flipped.loss_weights[:30], expected)
+
+    def test_mixed_loss_weights_preserve_member_estimators(self):
+        """The merged weighted-sum loss (with MicroBatchedFlow's 1/K
+        rescale) equals the mean of the members' own losses — the
+        weighted member's weighted sum and the unweighted member's masked
+        mean — so the mixed merge stays unbiased."""
+        from repro.tensor import cross_entropy, weighted_cross_entropy
+
+        weighted, plain = self._weighted(24, 3), self._labelled(30, 4)
+        rng = np.random.default_rng(0)
+        logits_w = rng.normal(size=(24, 3))
+        logits_p = rng.normal(size=(30, 3))
+        loss_w = weighted_cross_entropy(
+            Tensor(logits_w), weighted.labels, weighted.loss_weights,
+            weighted.train_mask,
+        ).item()
+        loss_p = cross_entropy(
+            Tensor(logits_p), plain.labels, plain.train_mask
+        ).item()
+        merged = batch_graphs([weighted, plain])
+        rescaled = merged.loss_weights / 2  # the 1/K micro-batch rescale
+        loss_m = weighted_cross_entropy(
+            Tensor(np.vstack([logits_w, logits_p])), merged.labels,
+            rescaled, merged.train_mask,
+        ).item()
+        assert loss_m == pytest.approx((loss_w + loss_p) / 2)
+
+    def test_all_absent_loss_weights_stay_none(self):
+        merged = batch_graphs([self._labelled(20, 1), self._labelled(20, 2)])
+        assert merged.loss_weights is None
+
+    def test_all_present_loss_weights_concatenate_unchanged(self):
+        a, b = self._weighted(20, 1), self._weighted(25, 2)
+        merged = batch_graphs([a, b])
+        np.testing.assert_array_equal(
+            merged.loss_weights,
+            np.concatenate([a.loss_weights, b.loss_weights]),
+        )
+
 
 class TestEvalKeepsArenaSmall:
     def test_full_graph_eval_does_not_grow_workspace(self):
