@@ -136,16 +136,26 @@ def _run_train(args) -> str:
         seed=args.seed, importance=args.importance,
         importance_alpha=args.importance_alpha,
     )
+    workers = args.prefetch_workers
+    if workers != "thread":
+        try:
+            workers = int(workers)
+        except ValueError:
+            raise SystemExit(
+                f"--prefetch-workers must be 'thread' or an integer, "
+                f"got {args.prefetch_workers!r}"
+            )
+    prefetch_kwargs = dict(
+        micro_batch=args.micro_batch, prefetch=args.prefetch,
+        prefetch_workers=workers,
+    )
     if args.flow == "sampled":
-        flow = make_flow(
-            "sampled", micro_batch=args.micro_batch, prefetch=args.prefetch,
-            **sampled_kwargs,
-        )
+        flow = make_flow("sampled", **prefetch_kwargs, **sampled_kwargs)
     elif args.flow == "partitioned":
         flow = make_flow(
             "partitioned", n_parts=args.n_parts,
             boundary_fraction=args.boundary_fraction, seed=args.seed,
-            micro_batch=args.micro_batch, prefetch=args.prefetch,
+            **prefetch_kwargs,
         )
     elif args.flow == "distributed":
         # micro_batch/prefetch are forwarded so make_flow's explicit
@@ -154,22 +164,19 @@ def _run_train(args) -> str:
         if args.distributed_inner == "sampled":
             flow = make_flow(
                 "distributed", inner="sampled", replicas=args.replicas,
-                grad_topk=args.grad_topk,
-                micro_batch=args.micro_batch, prefetch=args.prefetch,
-                **sampled_kwargs,
+                grad_topk=args.grad_topk, processes=args.replica_procs,
+                **prefetch_kwargs, **sampled_kwargs,
             )
         else:
             flow = make_flow(
                 "distributed", inner="partitioned", replicas=args.replicas,
-                grad_topk=args.grad_topk,
-                micro_batch=args.micro_batch, prefetch=args.prefetch,
+                grad_topk=args.grad_topk, processes=args.replica_procs,
                 n_parts=args.n_parts,
                 boundary_fraction=args.boundary_fraction, seed=args.seed,
+                **prefetch_kwargs,
             )
     else:
-        flow = make_flow(
-            "full", micro_batch=args.micro_batch, prefetch=args.prefetch
-        )
+        flow = make_flow("full", **prefetch_kwargs)
     model = MaxKGNN(graph, config, seed=args.seed)
     engine = Engine(model, graph, flow, lr=cfg.lr)
     epochs = args.epochs if args.epochs is not None else cfg.epochs
@@ -177,9 +184,9 @@ def _run_train(args) -> str:
     try:
         result = engine.fit(epochs, eval_every=max(epochs // 4, 1))
     finally:
-        close = getattr(flow, "close", None)
-        if close is not None:  # stop a prefetch flow's worker + lookahead
-            close()
+        # Stops prefetch workers (thread or process pool), the replica
+        # process pool, and unlinks any shared-memory segments.
+        engine.close()
     elapsed = time.perf_counter() - start
     lines = [
         f"dataset      {args.dataset} ({graph.n_nodes} nodes, "
@@ -289,6 +296,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "background thread (sampling, induction, CSR "
                             "build, backend registration); trajectories "
                             "are bit-identical to --prefetch 0")
+    train.add_argument("--prefetch-workers", default="thread",
+                       help="'thread' (default) builds prefetched batches "
+                            "on a background thread; an integer N builds "
+                            "them in a pool of N OS processes against a "
+                            "shared-memory graph store (same batches, "
+                            "bit-identical trajectories; falls back to "
+                            "the thread when the machine can't host it)")
     train.add_argument("--n-parts", type=int, default=4,
                        help="partitions for --flow partitioned")
     train.add_argument("--boundary-fraction", type=float, default=0.2)
@@ -302,6 +316,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "largest-magnitude entries per tensor (CBSR "
                             "payload) with error-feedback residuals; "
                             "omit for the bit-identical dense exchange")
+    train.add_argument("--replica-procs", action="store_true",
+                       help="run each distributed replica in its own OS "
+                            "process against a shared-memory graph store "
+                            "(R=1 bit-identical to in-process; R>1 "
+                            "seed-reproducible; falls back in-process "
+                            "when the machine can't host the pool)")
     train.add_argument("--distributed-inner", default="partitioned",
                        choices=["partitioned", "sampled"],
                        help="which flow --flow distributed shards "

@@ -19,7 +19,9 @@ shape with a lower constant.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from ..graphs.graph import Graph
 from ..graphs.partition import Partition, boundary_nodes
@@ -31,6 +33,8 @@ __all__ = [
     "PartitionStats",
     "partition_stats",
     "shard_stats",
+    "pack_assignment",
+    "pack_stats",
     "ring_allreduce_time",
     "MultiGpuEpochModel",
 ]
@@ -110,6 +114,66 @@ def shard_stats(stats: PartitionStats, replicas: int) -> PartitionStats:
     boundary = [0] * replicas
     for part in range(stats.n_parts):
         replica = part % replicas
+        nodes[replica] += stats.nodes_per_part[part]
+        edges[replica] += stats.edges_per_part[part]
+        boundary[replica] += stats.boundary_per_part[part]
+    return PartitionStats(
+        n_parts=replicas,
+        nodes_per_part=nodes,
+        edges_per_part=edges,
+        boundary_per_part=boundary,
+    )
+
+
+def pack_assignment(loads: Sequence[float], replicas: int) -> np.ndarray:
+    """Greedy LPT bin-packing: part → replica, balancing ``loads``.
+
+    Longest-processing-time-first: visit parts by descending load (stable
+    order — equal loads keep their part order) and assign each to the
+    currently least-loaded replica (ties → lowest replica id). On uniform
+    loads this reproduces :func:`shard_stats`' round-robin placement
+    exactly, so the packer is a strict refinement: it only departs from
+    round-robin when the measured loads say a straggler exists.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    if loads.ndim != 1:
+        raise ValueError("loads must be one-dimensional")
+    if np.any(loads < 0) or not np.all(np.isfinite(loads)):
+        raise ValueError("loads must be finite and non-negative")
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    if replicas > loads.size:
+        raise ValueError("more replicas than partitions to place")
+    order = np.argsort(-loads, kind="stable")
+    bin_loads = np.zeros(replicas, dtype=np.float64)
+    assignment = np.empty(loads.size, dtype=np.int64)
+    for part in order:
+        replica = int(np.argmin(bin_loads))  # first minimum → lowest id
+        assignment[part] = replica
+        bin_loads[replica] += loads[part]
+    return assignment
+
+
+def pack_stats(stats: PartitionStats, replicas: int,
+               loads: Optional[Sequence[float]] = None) -> PartitionStats:
+    """Fold P partitions onto R replicas by greedy bin-packing.
+
+    The load-aware successor of :func:`shard_stats`: ``loads`` carries one
+    measured cost per partition (e.g. the wall-clock straggler skew
+    :meth:`~repro.training.dataflow.DistributedFlow.note_replica_step`
+    accumulates per schedule slot); without it, internal edge counts — the
+    static proxy for aggregation work — drive the packing.
+    """
+    if loads is None:
+        loads = stats.edges_per_part
+    elif len(loads) != stats.n_parts:
+        raise ValueError("loads must have one entry per partition")
+    assignment = pack_assignment(loads, replicas)
+    nodes = [0] * replicas
+    edges = [0] * replicas
+    boundary = [0] * replicas
+    for part in range(stats.n_parts):
+        replica = int(assignment[part])
         nodes[replica] += stats.nodes_per_part[part]
         edges[replica] += stats.edges_per_part[part]
         boundary[replica] += stats.boundary_per_part[part]

@@ -33,6 +33,12 @@ from .reorder import (
     degree_sort_reorder,
     locality_score,
 )
+from .shm import (
+    SharedGraphHandle,
+    SharedGraphStore,
+    owned_segment_count,
+    shared_memory_available,
+)
 from .sampling import (
     as_generator,
     degree_edge_probabilities,
@@ -73,6 +79,10 @@ __all__ = [
     "community_sort_reorder",
     "locality_score",
     "REORDERINGS",
+    "SharedGraphHandle",
+    "SharedGraphStore",
+    "owned_segment_count",
+    "shared_memory_available",
     "as_generator",
     "degree_node_probabilities",
     "degree_edge_probabilities",

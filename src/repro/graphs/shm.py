@@ -1,0 +1,290 @@
+"""Shared-memory graph store for true multi-core execution.
+
+A :class:`SharedGraphStore` exports every array a :class:`Graph` carries —
+edge endpoints, features, labels, split masks, loss weights, communities,
+plus any CSR adjacencies already built in ``_adj_cache`` — into
+:mod:`multiprocessing.shared_memory` segments. Worker processes receive a
+small picklable :class:`SharedGraphHandle` and map the same physical pages
+back as zero-copy ``np.ndarray`` views: a spawn-started batch builder or
+replica executor reads the full graph without ever serialising it.
+
+Lifecycle is explicit: the exporting process owns the segments and must
+``unlink()`` them (``close()`` only drops this process's mappings); worker
+attachments ``close()`` theirs. Every segment this module creates is
+tracked in a process-local registry so tests can assert none leak
+(:func:`owned_segment_count`).
+
+CPython detail that shapes :meth:`SharedGraphStore.attach`: on 3.11,
+``SharedMemory(name=...)`` registers the segment with the resource tracker
+*even when only attaching*. All of this module's attachers are
+``multiprocessing``-spawned children of the owner, which inherit the
+owner's tracker process — registration lands in one shared set, so the
+duplicate is a no-op and the owner's ``unlink()`` balances it. (Calling
+``resource_tracker.unregister`` from a worker would strip that shared
+entry and make the owner's later unlink complain; don't.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..sparse import CSRMatrix
+from .graph import Graph
+
+__all__ = [
+    "SharedGraphHandle",
+    "SharedGraphStore",
+    "shared_memory_available",
+    "owned_segment_count",
+    "owned_segment_names",
+]
+
+#: Graph array fields exported to shared memory (``None`` fields skipped).
+_ARRAY_FIELDS = (
+    "src", "dst", "features", "labels", "train_mask", "val_mask",
+    "test_mask", "communities", "loss_weights",
+)
+
+#: Segment names this process created and has not yet unlinked.
+_OWNED: set = set()
+
+
+def owned_segment_names() -> frozenset:
+    return frozenset(_OWNED)
+
+
+def owned_segment_count() -> int:
+    """Live shared segments owned by this process (leak-check hook)."""
+    return len(_OWNED)
+
+
+_PROBED: Optional[bool] = None
+
+
+def shared_memory_available(refresh: bool = False) -> bool:
+    """Whether this host can create POSIX shared memory at all.
+
+    Probes once (create + map + unlink of a tiny segment) and caches the
+    verdict; containers without a usable ``/dev/shm`` fail the probe and
+    every process-pool feature degrades to its in-process path.
+    """
+    global _PROBED
+    if _PROBED is None or refresh:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(create=True, size=16)
+            probe.buf[0] = 1
+            probe.close()
+            probe.unlink()
+            _PROBED = True
+        except (OSError, ImportError, ValueError):
+            _PROBED = False
+    return _PROBED
+
+
+@dataclass(frozen=True)
+class _ArraySpec:
+    """One exported array: where it lives and how to view it."""
+
+    field: str
+    segment: str
+    dtype: str
+    shape: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SharedGraphHandle:
+    """Picklable recipe for re-mapping a :class:`SharedGraphStore`.
+
+    Small enough to ship through a spawn bootstrap: per-array segment
+    names + dtypes + shapes, never the data itself.
+    """
+
+    n_nodes: int
+    name: str
+    multilabel: bool
+    arrays: Tuple[_ArraySpec, ...]
+    #: ``(cache_key, shape, (indptr, indices, data) specs)`` per cached CSR.
+    adjacency: Tuple[Tuple[str, Tuple[int, int], Tuple[_ArraySpec, ...]], ...]
+
+
+class SharedGraphStore:
+    """One graph's arrays exported to (or attached from) shared memory."""
+
+    def __init__(self) -> None:
+        self._segments: List = []  # SharedMemory objects, owner or attached
+        self._owner = False
+        self._handle: Optional[SharedGraphHandle] = None
+        self._graph: Optional[Graph] = None
+        self._closed = False
+        self.nbytes = 0
+
+    # -- owner side ----------------------------------------------------
+    @classmethod
+    def export(cls, graph: Graph) -> "SharedGraphStore":
+        """Copy ``graph``'s arrays into fresh shared segments (owner side)."""
+        from multiprocessing import shared_memory
+
+        store = cls()
+        store._owner = True
+        try:
+            specs = []
+            for field in _ARRAY_FIELDS:
+                value = getattr(graph, field)
+                if value is None:
+                    continue
+                specs.append(store._export_array(field, np.asarray(value)))
+            adjacency = []
+            for key, csr in graph._adj_cache.items():
+                parts = tuple(
+                    store._export_array(
+                        f"adj[{key}].{part}", np.asarray(arr)
+                    )
+                    for part, arr in (
+                        ("indptr", csr.indptr),
+                        ("indices", csr.indices),
+                        ("data", csr.data),
+                    )
+                )
+                adjacency.append((key, tuple(csr.shape), parts))
+            store._handle = SharedGraphHandle(
+                n_nodes=graph.n_nodes,
+                name=graph.name,
+                multilabel=graph.multilabel,
+                arrays=tuple(specs),
+                adjacency=tuple(adjacency),
+            )
+            store._graph = graph
+        except BaseException:
+            store.close()
+            store.unlink()
+            raise
+        return store
+
+    def _export_array(self, field: str, array: np.ndarray) -> _ArraySpec:
+        from multiprocessing import shared_memory
+
+        array = np.ascontiguousarray(array)
+        # A zero-length segment is illegal; keep one byte for empty arrays.
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(int(array.nbytes), 1)
+        )
+        _OWNED.add(shm.name)
+        self._segments.append(shm)
+        self.nbytes += int(array.nbytes)
+        if array.nbytes:
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+            view[...] = array
+        return _ArraySpec(
+            field=field, segment=shm.name, dtype=str(array.dtype),
+            shape=tuple(array.shape),
+        )
+
+    # -- worker side ---------------------------------------------------
+    @classmethod
+    def attach(cls, handle: SharedGraphHandle) -> "SharedGraphStore":
+        """Map an exported store's segments into this process (zero-copy)."""
+        from multiprocessing import shared_memory
+
+        store = cls()
+        store._handle = handle
+        segments: Dict[str, "shared_memory.SharedMemory"] = {}
+
+        def mapped(spec: _ArraySpec) -> np.ndarray:
+            shm = segments.get(spec.segment)
+            if shm is None:
+                # Attaching re-registers with the (shared, inherited)
+                # resource tracker on 3.11 — a set-add no-op; the owner's
+                # unlink() balances the single entry. See module docstring.
+                shm = shared_memory.SharedMemory(name=spec.segment)
+                segments[spec.segment] = shm
+                store._segments.append(shm)
+            array = np.ndarray(
+                spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf
+            )
+            array.flags.writeable = False
+            return array
+
+        try:
+            fields = {spec.field: mapped(spec) for spec in handle.arrays}
+            graph = Graph(
+                n_nodes=handle.n_nodes,
+                src=fields["src"],
+                dst=fields["dst"],
+                features=fields.get("features"),
+                labels=fields.get("labels"),
+                train_mask=fields.get("train_mask"),
+                val_mask=fields.get("val_mask"),
+                test_mask=fields.get("test_mask"),
+                name=handle.name,
+                multilabel=handle.multilabel,
+                communities=fields.get("communities"),
+                loss_weights=fields.get("loss_weights"),
+            )
+            for key, shape, parts in handle.adjacency:
+                indptr, indices, data = (mapped(spec) for spec in parts)
+                graph._adj_cache[key] = CSRMatrix(
+                    indptr=indptr, indices=indices, data=data,
+                    shape=tuple(shape),
+                )
+            # The views borrow the segments' pages; if the store were
+            # garbage-collected while the graph lives, SharedMemory's
+            # finalizer would release those pages under the arrays
+            # (use-after-free). The graph therefore owns its store.
+            graph._shm_store = store
+            store._graph = graph
+        except BaseException:
+            store.close()
+            raise
+        return store
+
+    # -- shared --------------------------------------------------------
+    def handle(self) -> SharedGraphHandle:
+        if self._handle is None:
+            raise ValueError("store has no handle (closed before export?)")
+        return self._handle
+
+    def graph(self) -> Graph:
+        """The store's graph: the original (owner) or zero-copy views."""
+        if self._graph is None:
+            raise ValueError("store is closed")
+        return self._graph
+
+    def close(self) -> None:
+        """Drop this process's mappings (idempotent). Owners still must
+        :meth:`unlink`."""
+        if self._closed:
+            return
+        self._closed = True
+        self._graph = None
+        for shm in self._segments:
+            try:
+                shm.close()
+            except (OSError, BufferError):
+                pass
+
+    def unlink(self) -> None:
+        """Free the segments system-wide (owner side, idempotent)."""
+        if not self._owner:
+            return
+        self.close()
+        for shm in self._segments:
+            if shm.name not in _OWNED:
+                continue
+            try:
+                shm.unlink()
+            except (OSError, FileNotFoundError):
+                pass
+            _OWNED.discard(shm.name)
+        self._segments = []
+
+    def __enter__(self) -> "SharedGraphStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        self.unlink()

@@ -14,11 +14,13 @@ from .dataflow import (
     MicroBatchedFlow,
     PartitionedFlow,
     PrefetchFlow,
+    PrefetchWorkerError,
     SampledFlow,
     SubgraphCache,
     make_flow,
 )
-from .engine import Engine, ReplicaGradients
+from .engine import Engine, ReplicaGradients, batch_loss
+from .parallel import available_cores, resolve_process_workers
 from .metrics import accuracy, micro_f1, roc_auc
 from .partitioned import (
     PartitionedTrainer,
@@ -37,7 +39,11 @@ __all__ = [
     "roc_auc",
     "Engine",
     "ReplicaGradients",
+    "batch_loss",
+    "available_cores",
+    "resolve_process_workers",
     "BatchPlan",
+    "PrefetchWorkerError",
     "DataFlow",
     "DistributedFlow",
     "FullGraphFlow",

@@ -53,6 +53,12 @@ from ..graphs import (
     random_walk_sampler,
 )
 from ..sparse.ops import get_backend
+from .parallel import (
+    PrefetchWorkerError,
+    ProcessPrefetchPool,
+    graph_from_payload,
+    resolve_process_workers,
+)
 
 __all__ = [
     "BatchPlan",
@@ -62,6 +68,7 @@ __all__ = [
     "PartitionedFlow",
     "MicroBatchedFlow",
     "PrefetchFlow",
+    "PrefetchWorkerError",
     "DistributedFlow",
     "SubgraphCache",
     "make_flow",
@@ -276,6 +283,16 @@ class SampledFlow(DataFlow):
         self._floor_graph: Optional[Graph] = None
         self._floor = 1
 
+    def __getstate__(self):
+        # Picklable for spawn workers: ship the schedule parameters, never
+        # the graph-bound runtime state (the worker rebinds to its own
+        # shared-memory graph and grows its own pool cache).
+        state = self.__dict__.copy()
+        state["cache"] = SubgraphCache(self.cache.capacity)
+        state["_cache_graph"] = None
+        state["_floor_graph"] = None
+        return state
+
     def describe(self) -> str:
         label = self.sampler if isinstance(self.sampler, str) else "custom"
         suffix = "+imp" if self.importance else ""
@@ -453,6 +470,14 @@ class MicroBatchedFlow(DataFlow):
         self.merge_hits = 0
         self.merge_misses = 0
 
+    def __getstate__(self):
+        # Spawn-safe: merged unions are keyed by member identity, which
+        # does not survive pickling — workers rebuild their own.
+        state = self.__dict__.copy()
+        state["_merged"] = OrderedDict()
+        state["_merge_graph"] = None
+        return state
+
     def describe(self) -> str:
         return f"{self.inner.describe()}+micro{self.size}"
 
@@ -576,6 +601,14 @@ class PartitionedFlow(DataFlow):
         # address the previous graph's partition.
         self._partition_graph: Optional[Graph] = None
 
+    def __getstate__(self):
+        # Spawn-safe: workers recompute the (deterministic) partition
+        # against their shared-memory view of the graph.
+        state = self.__dict__.copy()
+        state["_partition"] = None
+        state["_partition_graph"] = None
+        return state
+
     def describe(self) -> str:
         return f"partitioned/{self.n_parts}"
 
@@ -653,27 +686,58 @@ class PrefetchFlow(DataFlow):
     #: hand-off queue; bounds how long a discarded job can occupy it.
     _POLL_SECONDS = 0.05
 
-    def __init__(self, inner: DataFlow, depth: int = 2):
+    def __init__(self, inner: DataFlow, depth: int = 2,
+                 workers: Union[None, str, int] = None):
         if depth < 0:
             raise ValueError("prefetch depth must be >= 0")
+        if isinstance(workers, int) and workers < 1:
+            raise ValueError("prefetch workers must be >= 1")
+        if isinstance(workers, str) and workers != "thread":
+            raise ValueError(
+                f"unknown prefetch workers {workers!r}; use 'thread' or a "
+                "positive process count"
+            )
         self.inner = inner
         self.depth = depth
+        #: ``None``/``"thread"`` = the historical background thread; an
+        #: ``int`` asks for that many spawn worker processes building
+        #: against a shared-memory graph store (degrades back to the
+        #: thread on hosts that cannot support it — see
+        #: :func:`repro.training.parallel.resolve_process_workers`).
+        self.workers = workers
         #: Optional callable(Graph) run by the worker on every built batch.
         self.warm: Optional[Callable[[Graph], None]] = None
+        #: Adjacency normalisations process workers pre-build per batch
+        #: (the engine installs its convolutions' norms here — the
+        #: cross-process analogue of :meth:`set_warmer`).
+        self.warm_norms: Tuple[str, ...] = ()
         self._jobs: "queue.Queue[Optional[_PrefetchJob]]" = queue.Queue()
         self._pending: "OrderedDict[Tuple[int, int], _PrefetchJob]" = (
             OrderedDict()
         )
         self._pending_graph: Optional[Graph] = None
         self._thread: Optional[threading.Thread] = None
+        self._proc_pool: Optional[ProcessPrefetchPool] = None
+        self._proc_graph: Optional[Graph] = None
+        self._proc_pending: Dict[Tuple[int, int], list] = {}
+        self._proc_workers: Optional[int] = None  # resolved lazily
         self.built = 0  # batches built by the worker (stats/tests)
 
     def describe(self) -> str:
+        if isinstance(self.workers, int):
+            return (
+                f"{self.inner.describe()}+prefetch{self.depth}"
+                f"/procs{self.workers}"
+            )
         return f"{self.inner.describe()}+prefetch{self.depth}"
 
     def set_warmer(self, warm: Optional[Callable[[Graph], None]]) -> None:
         """Install the per-batch warm-up the worker runs after building."""
         self.warm = warm
+
+    def set_warm_norms(self, norms: Tuple[str, ...]) -> None:
+        """Adjacency norms process workers pre-build into each payload."""
+        self.warm_norms = tuple(norms)
 
     # -- worker --------------------------------------------------------
     def _ensure_worker(self) -> None:
@@ -704,7 +768,7 @@ class PrefetchFlow(DataFlow):
             job = self._jobs.get()
             if job is None:
                 return
-            for plan in job.plans:
+            for index, plan in enumerate(job.plans):
                 if job.stop.is_set():
                     break
                 try:
@@ -713,7 +777,13 @@ class PrefetchFlow(DataFlow):
                     if warm is not None:
                         warm(batch)
                 except BaseException as exc:  # delivered to the consumer
-                    self._offer(job, ("error", exc, None))
+                    # Record first (the consumer polls job.error before
+                    # each hand-off, so the failure surfaces promptly even
+                    # with built batches still queued ahead of it), then
+                    # queue it as well for a consumer already blocked in
+                    # ``get()``.
+                    job.error = (index, exc)
+                    self._offer(job, ("error", exc, index))
                     break
                 self.built += 1
                 if not self._offer(job, ("batch", batch, plan)):
@@ -769,19 +839,100 @@ class PrefetchFlow(DataFlow):
         self._pending_graph = None
 
     def close(self) -> None:
-        """Drop pending lookahead batches and stop the worker thread.
+        """Drop pending lookahead batches, stop the worker thread, and
+        shut down any process pool (joining its workers and unlinking the
+        shared-memory segments).
 
         Call when a flow is retired for good (the CLI does after
         training). Not required between ``fit()`` calls — the next
         ``batches()`` request reuses or discards the lookahead — and a
-        never-closed flow costs only its parked daemon worker plus up to
-        ``depth`` built batches of the one epoch past the last consumed.
+        never-closed thread-mode flow costs only its parked daemon worker
+        plus up to ``depth`` built batches of the one epoch past the last
+        consumed. A process-mode flow should always be closed: its
+        workers and shared segments outlive garbage collection.
         """
         self._discard_pending()
         if self._thread is not None and self._thread.is_alive():
             self._jobs.put(None)
             self._thread.join(timeout=5.0)
         self._thread = None
+        self._close_proc_pool()
+
+    # -- process pool --------------------------------------------------
+    def _close_proc_pool(self) -> None:
+        if self._proc_pool is not None:
+            self._proc_pool.close()
+        self._proc_pool = None
+        self._proc_graph = None
+        self._proc_pending = {}
+
+    def _use_processes(self) -> bool:
+        """Whether the process path is requested *and* viable (resolved
+        once; a denial warns once and pins the thread fallback)."""
+        if not isinstance(self.workers, int):
+            return False
+        if self._proc_workers is None:
+            self._proc_workers = resolve_process_workers(
+                self.workers, label="prefetch workers", payload=self.inner
+            )
+        return self._proc_workers > 0
+
+    def _ensure_proc_pool(self, graph: Graph) -> ProcessPrefetchPool:
+        if self._proc_pool is not None and self._proc_graph is not graph:
+            self._close_proc_pool()
+        if self._proc_pool is None:
+            self._proc_pool = ProcessPrefetchPool(
+                self.inner, graph, self._proc_workers, self.warm_norms
+            )
+            self._proc_graph = graph
+            self._proc_pending = {}
+        return self._proc_pool
+
+    def _submit_ahead(self, graph: Graph, epoch: int) -> None:
+        key = (id(graph), epoch)
+        if key in self._proc_pending:
+            return
+        plans = self.inner.plan(graph, epoch)
+        if plans is not None:
+            self._proc_pending[key] = self._proc_pool.submit_epoch(
+                epoch, len(plans)
+            )
+
+    def _process_batches(self, graph: Graph, epoch: int) -> Iterator[Graph]:
+        """Consume one epoch built by the worker processes.
+
+        Workers rebuild the deterministic ``(seed, slot)`` schedule
+        against the shared-memory graph, so payloads are byte-identical
+        to thread-built batches. Failures surface promptly: the pool
+        records the earliest errored slot of the epoch as soon as its
+        task dies, and the consumer checks it before every hand-off.
+        """
+        plans = self.inner.plan(graph, epoch)
+        if plans is None:  # unschedulable inner flow: inline fallback
+            yield from self.inner.batches(graph, epoch)
+            return
+        pool = self._ensure_proc_pool(graph)
+        results = self._proc_pending.pop((id(graph), epoch), None)
+        if results is None or len(results) != len(plans):
+            self._proc_pending = {}  # out-of-order request: drop lookahead
+            results = pool.submit_epoch(epoch, len(plans))
+        # Lookahead: queue the next epoch while this one is consumed.
+        self._submit_ahead(graph, epoch + 1)
+        for index, (plan, handle) in enumerate(zip(plans, results)):
+            failure = pool.failure_for(epoch)
+            if failure is not None:
+                slot, original = failure
+                raise PrefetchWorkerError(slot, epoch, original) \
+                    from original
+            try:
+                payload = handle.get()
+            except Exception as original:
+                raise PrefetchWorkerError(index, epoch, original) \
+                    from original
+            batch = graph_from_payload(payload)
+            self.built += 1
+            yield batch
+            plan.retire(batch)
 
     # -- consumption ---------------------------------------------------
     def plan(self, graph: Graph, epoch: int) -> Optional[List[BatchPlan]]:
@@ -792,6 +943,9 @@ class PrefetchFlow(DataFlow):
     def batches(self, graph: Graph, epoch: int) -> Iterator[Graph]:
         if self.depth == 0:
             yield from self.inner.batches(graph, epoch)
+            return
+        if self._use_processes():
+            yield from self._process_batches(graph, epoch)
             return
         job = None
         if self._pending_graph is graph:
@@ -808,9 +962,18 @@ class PrefetchFlow(DataFlow):
         self._schedule_ahead(graph, epoch + 1)
         try:
             for plan in job.plans:
-                kind, payload, _ = job.results.get()
+                error = job.error
+                if error is not None:
+                    # Prompt propagation: surface a recorded failure at
+                    # the next hand-off even when built batches are still
+                    # queued ahead of it (they are retired by _cancel).
+                    slot, original = error
+                    raise PrefetchWorkerError(slot, epoch, original) \
+                        from original
+                kind, payload, extra = job.results.get()
                 if kind == "error":
-                    raise payload
+                    raise PrefetchWorkerError(extra, epoch, payload) \
+                        from payload
                 yield payload
                 plan.retire(payload)
         finally:
@@ -840,7 +1003,7 @@ class DistributedFlow(DataFlow):
     name = "distributed"
 
     def __init__(self, inner: DataFlow, replicas: int, device=None,
-                 grad_topk: Optional[int] = None):
+                 grad_topk: Optional[int] = None, processes: bool = False):
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
         if grad_topk is not None and grad_topk < 1:
@@ -855,6 +1018,12 @@ class DistributedFlow(DataFlow):
         #: default). The engine forwards this to
         #: :class:`~repro.training.engine.ReplicaGradients`.
         self.grad_topk = grad_topk
+        #: Ask the engine to run each replica in its own worker process
+        #: (persistent model mirror, shared-memory graph store, flat
+        #: gradients shipped back for the parent's fixed-order
+        #: all-reduce). Degrades to the in-process executor with one
+        #: warning when the host cannot support it.
+        self.processes = bool(processes)
         self.reset_telemetry()
 
     def describe(self) -> str:
@@ -862,6 +1031,8 @@ class DistributedFlow(DataFlow):
             f"{self.replicas}" if self.grad_topk is None
             else f"{self.replicas},top{self.grad_topk}"
         )
+        if self.processes:
+            tag += ",procs"
         return f"distributed[{tag}]/{self.inner.describe()}"
 
     # -- schedule ------------------------------------------------------
@@ -893,6 +1064,11 @@ class DistributedFlow(DataFlow):
         self.replica_edges = np.zeros(self.replicas)
         self.replica_steps = np.zeros(self.replicas, dtype=np.int64)
         self.rounds_scheduled = 0
+        #: Measured wall-clock per schedule *slot* (plan index — for a
+        #: partitioned inner flow, the partition id). This is the
+        #: straggler-skew signal the greedy bin-packing placement in
+        #: :func:`repro.gpusim.multigpu.pack_stats` consumes.
+        self.slot_seconds: Dict[int, float] = {}
         #: Per-replica bytes of the last executed gradient exchange (the
         #: engine reports them after every reduce): the dense float64
         #: figure and what actually went on the modelled wire.
@@ -901,11 +1077,28 @@ class DistributedFlow(DataFlow):
         self.grad_exchanges = 0
 
     def note_replica_step(self, replica: int, seconds: float,
-                          edges: int) -> None:
-        """Engine hook: one replica finished one forward/backward."""
+                          edges: int, slot: Optional[int] = None) -> None:
+        """Engine hook: one replica finished one forward/backward.
+
+        ``slot`` (when the engine knows it) attributes the measurement to
+        the schedule slot that was trained, feeding the measured-load
+        placement; the three-argument form stays valid for callers that
+        predate it.
+        """
         self.replica_seconds[replica] += seconds
         self.replica_edges[replica] += edges
         self.replica_steps[replica] += 1
+        if slot is not None:
+            self.slot_seconds[slot] = self.slot_seconds.get(slot, 0.0) \
+                + seconds
+
+    def measured_slot_loads(self, n_slots: int) -> Optional[List[float]]:
+        """Per-slot wall-clock loads, or ``None`` until every slot in
+        ``range(n_slots)`` has at least one measurement."""
+        loads = [self.slot_seconds.get(slot) for slot in range(n_slots)]
+        if any(value is None for value in loads) or not loads:
+            return None
+        return [float(value) for value in loads]
 
     def note_gradient_exchange(self, dense_nbytes: int,
                                payload_nbytes: int) -> None:
@@ -1003,6 +1196,9 @@ class DistributedFlow(DataFlow):
         report.update(self.measured())
         partition_for = getattr(self.inner, "partition_for", None)
         if partition_for is not None:
+            from ..gpusim import pack_assignment
+            from ..gpusim.balance import gini, warp_efficiency
+
             stats = partition_stats(graph, partition_for(graph))
             model = MultiGpuEpochModel(
                 stats, hidden, n_layers, device,
@@ -1022,13 +1218,44 @@ class DistributedFlow(DataFlow):
                     model.predicted_scaling(k, replicas=sharded), 4
                 ),
             })
+            # Placement: greedy bin-packing of the partitions onto the
+            # replicas, driven by measured per-slot wall-clock when every
+            # partition has been trained at least once (the straggler
+            # signal note_replica_step accumulates), else by edge counts.
+            measured = self.measured_slot_loads(stats.n_parts)
+            loads = np.asarray(
+                measured if measured is not None
+                else stats.edges_per_part, dtype=np.float64,
+            )
+            packed = pack_assignment(loads, sharded)
+            robin = np.arange(stats.n_parts) % sharded
+            packed_bins = np.bincount(packed, weights=loads,
+                                      minlength=sharded)
+            robin_bins = np.bincount(robin, weights=loads,
+                                     minlength=sharded)
+            report["placement"] = {
+                "strategy": "bin-packed",
+                "load_source": "measured" if measured is not None
+                else "edges",
+                "assignment": [int(bin_) for bin_ in packed],
+                "packed_gini": round(gini(packed_bins), 6),
+                "round_robin_gini": round(gini(robin_bins), 6),
+                "packed_efficiency": round(
+                    warp_efficiency(packed_bins), 6
+                ),
+                "round_robin_efficiency": round(
+                    warp_efficiency(robin_bins), 6
+                ),
+                "packed_makespan": round(float(packed_bins.max()), 6),
+                "round_robin_makespan": round(float(robin_bins.max()), 6),
+            }
         return report
 
 
 class _PrefetchJob:
     """One epoch's plans plus the bounded hand-off queue to the consumer."""
 
-    __slots__ = ("plans", "results", "stop")
+    __slots__ = ("plans", "results", "stop", "error")
 
     def __init__(self, plans: List[BatchPlan], depth: int):
         self.plans = plans
@@ -1036,10 +1263,14 @@ class _PrefetchJob:
             maxsize=max(depth, 1)
         )
         self.stop = threading.Event()
+        #: ``(slot, exception)`` set by the worker *before* queueing the
+        #: error item, so the consumer sees failures promptly.
+        self.error: Optional[Tuple[int, BaseException]] = None
 
 
 def make_flow(
-    flow: str, micro_batch: int = 1, prefetch: int = 0, **kwargs
+    flow: str, micro_batch: int = 1, prefetch: int = 0,
+    prefetch_workers: Union[None, str, int] = None, **kwargs
 ) -> DataFlow:
     """Build a flow by CLI name: ``full`` / ``sampled`` / ``partitioned``
     / ``distributed``.
@@ -1047,14 +1278,18 @@ def make_flow(
     ``micro_batch > 1`` wraps the flow in a :class:`MicroBatchedFlow` that
     merges that many consecutive batches into one fused dense pass;
     ``prefetch > 0`` wraps the result in a :class:`PrefetchFlow` that
-    builds up to that many batches ahead on a background thread.
+    builds up to that many batches ahead — on a background thread by
+    default, or on ``prefetch_workers`` spawn processes against a
+    shared-memory graph store when an integer count is given
+    (``"thread"`` names the default explicitly).
 
     ``distributed`` consumes ``replicas`` (simulated data-parallel width),
-    ``grad_topk`` (optional top-k gradient-exchange compression) and
-    ``inner`` (``partitioned``, the default, or ``sampled``); the
-    remaining kwargs configure that inner flow. It does not compose with
-    micro-batching or prefetch — rounds already group the schedule, and
-    the engine drives the builds synchronously per round.
+    ``grad_topk`` (optional top-k gradient-exchange compression),
+    ``processes`` (one worker process per replica) and ``inner``
+    (``partitioned``, the default, or ``sampled``); the remaining kwargs
+    configure that inner flow. It does not compose with micro-batching or
+    prefetch — rounds already group the schedule, and the engine drives
+    the builds synchronously per round.
     """
     if micro_batch < 1:
         raise ValueError("micro_batch must be >= 1")
@@ -1067,6 +1302,7 @@ def make_flow(
             )
         replicas = kwargs.pop("replicas", 2)
         grad_topk = kwargs.pop("grad_topk", None)
+        processes = kwargs.pop("processes", False)
         inner_name = kwargs.pop("inner", "partitioned")
         if inner_name == "sampled":
             inner: DataFlow = SampledFlow(**kwargs)
@@ -1077,7 +1313,8 @@ def make_flow(
                 f"unknown distributed inner {inner_name!r}; "
                 "options: ['partitioned', 'sampled']"
             )
-        return DistributedFlow(inner, replicas, grad_topk=grad_topk)
+        return DistributedFlow(inner, replicas, grad_topk=grad_topk,
+                               processes=processes)
     if flow == "full":
         built = FullGraphFlow()
     elif flow == "sampled":
@@ -1092,5 +1329,5 @@ def make_flow(
     if micro_batch > 1:
         built = MicroBatchedFlow(built, micro_batch)
     if prefetch > 0:
-        built = PrefetchFlow(built, prefetch)
+        built = PrefetchFlow(built, prefetch, workers=prefetch_workers)
     return built

@@ -13,7 +13,9 @@ streams.
 
 from __future__ import annotations
 
+import inspect
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -35,9 +37,40 @@ from ..tensor import (
 )
 from .dataflow import BatchPlan, DataFlow, FullGraphFlow
 from .metrics import accuracy, micro_f1, roc_auc
+from .parallel import (
+    ReplicaProcessPool,
+    pack_parameters,
+    resolve_process_workers,
+)
 from .schedulers import EarlyStopping
 
-__all__ = ["TrainResult", "Engine", "ReplicaGradients"]
+__all__ = ["TrainResult", "Engine", "ReplicaGradients", "batch_loss"]
+
+
+def batch_loss(model, logits: Tensor, subgraph: Graph,
+               fused_loss: bool) -> Tensor:
+    """The engine's training loss for one batch, as a free function.
+
+    Factored out of :meth:`Engine._loss` so a process-per-replica worker
+    (:mod:`repro.training.parallel`) computes byte-identical losses from
+    its model mirror without holding an :class:`Engine`.
+    """
+    weights = subgraph.loss_weights
+    if subgraph.multilabel:
+        return bce_with_logits(logits, subgraph.labels,
+                               subgraph.train_mask, weights=weights)
+    if weights is not None:
+        # Importance-sampled batch: the weighted sum is the unbiased
+        # estimator of the full-graph mean loss (GraphSAINT norm).
+        return weighted_cross_entropy(
+            logits, subgraph.labels, weights, subgraph.train_mask
+        )
+    if fused_loss and model.training:
+        return fused_ce(
+            logits, subgraph.labels, subgraph.train_mask,
+            workspace=getattr(model, "workspace", None), slot="loss",
+        )
+    return cross_entropy(logits, subgraph.labels, subgraph.train_mask)
 
 
 @dataclass
@@ -154,7 +187,8 @@ class ReplicaGradients:
             if present:
                 self._arena[replica, lo:hi] = p.grad.ravel()
 
-    def reduce(self, participants: Sequence[int]) -> None:
+    def reduce(self, participants: Sequence[int],
+               preselected: bool = False) -> None:
         """Average the participants' gradients into ``p.grad`` per param.
 
         The divisor is the number of replicas that trained a batch this
@@ -164,11 +198,18 @@ class ReplicaGradients:
         ``topk`` set, each participant contributes its top-k-selected,
         residual-corrected entries instead of its full row (see the class
         docstring); the fixed ascending order is unchanged.
+
+        ``preselected`` runs the dense accumulation even on a top-k store:
+        the process-per-replica executor's workers already applied the
+        selection and residual update in their own single-row stores
+        (:meth:`deposit` scattered the shipped entries into the arena), so
+        the parent must only sum and scale — selecting again would select
+        a selection.
         """
         if not participants:
             raise ValueError("reduce needs at least one participant")
         scale = 1.0 / float(len(participants))
-        if self.topk is not None:
+        if self.topk is not None and not preselected:
             self._reduce_sparse(participants, scale)
             return
         for index, (p, (lo, hi)) in enumerate(
@@ -245,6 +286,61 @@ class ReplicaGradients:
             reduced *= scale
             self._adopt(p, reduced)
 
+    def export_payload(self, replica: int = 0) -> List[object]:
+        """The per-parameter payload to ship after :meth:`reduce`.
+
+        Reads the post-reduce ``p.grad`` buffers (a worker's single-row
+        store leaves exactly its contribution there — dense, or the
+        residual-corrected top-k selection). Entries are ``None`` for
+        untouched parameters, ``(indices, float64 values)`` for sparse
+        spans (``k < dim``; float64 keeps the exchange bitwise exact) and
+        a dense float64 row otherwise — top-k with ``k == dim`` stays
+        dense so exact-zero selected entries survive the wire.
+        """
+        payload: List[object] = []
+        for index, (p, (lo, hi)) in enumerate(
+            zip(self.parameters, self._spans)
+        ):
+            if p.grad is None:
+                payload.append(None)
+                continue
+            row = np.ascontiguousarray(p.grad, dtype=np.float64).ravel()
+            dim = hi - lo
+            if self.topk is not None and self._topk_per_param[index] < dim:
+                indices = np.flatnonzero(row)
+                payload.append(
+                    (indices.astype(np.int64, copy=False), row[indices])
+                )
+            else:
+                payload.append(row.copy())
+        return payload
+
+    def deposit(self, replica: int, payload: Sequence[object]) -> None:
+        """Adopt a worker-shipped payload as ``replica``'s arena row.
+
+        The inverse of :meth:`export_payload` on the parent side of the
+        process-per-replica exchange; follow with
+        ``reduce(participants, preselected=True)``.
+        """
+        if len(payload) != len(self.parameters):
+            raise ValueError(
+                f"payload has {len(payload)} entries for "
+                f"{len(self.parameters)} parameters"
+            )
+        for index, (lo, hi) in enumerate(self._spans):
+            entry = payload[index]
+            present = entry is not None
+            self._present[replica, index] = present
+            if not present:
+                continue
+            row = self._arena[replica, lo:hi]
+            if isinstance(entry, tuple):
+                indices, values = entry
+                row[:] = 0.0
+                row[indices] = values
+            else:
+                np.copyto(row, entry)
+
     def payload_cbsr(self, replica: int) -> List[CBSRMatrix]:
         """The CBSR payloads ``replica`` would ship in the *next* reduce.
 
@@ -310,12 +406,24 @@ class Engine:
         self._features = np.asarray(graph.features, dtype=np.float64)
         self._bound = model.graph
         self._replica_grads: Optional[ReplicaGradients] = None
+        self._replica_pool = None  # ReplicaProcessPool, created lazily
+        self._replica_pool_key: Optional[tuple] = None
         # A prefetching flow builds future batches on a background thread;
         # hand it the model-specific warm-up (adjacency + backend
         # registration) so that work leaves the training critical path too.
         set_warmer = getattr(self.flow, "set_warmer", None)
         if set_warmer is not None:
             set_warmer(self._warm_subgraph)
+        # Its process-pool counterpart: workers cannot call back into this
+        # engine, so hand them the conv norms and they pre-build the same
+        # adjacencies straight into each shipped payload.
+        set_warm_norms = getattr(self.flow, "set_warm_norms", None)
+        if set_warm_norms is not None:
+            norms: List[str] = []
+            for conv in getattr(model, "convs", ()):
+                if conv.norm not in norms:
+                    norms.append(conv.norm)
+            set_warm_norms(tuple(norms))
 
     # ------------------------------------------------------------------
     def _warm_subgraph(self, subgraph: Graph) -> None:
@@ -343,22 +451,7 @@ class Engine:
             self._bound = subgraph
 
     def _loss(self, logits: Tensor, subgraph: Graph) -> Tensor:
-        weights = subgraph.loss_weights
-        if subgraph.multilabel:
-            return bce_with_logits(logits, subgraph.labels,
-                                   subgraph.train_mask, weights=weights)
-        if weights is not None:
-            # Importance-sampled batch: the weighted sum is the unbiased
-            # estimator of the full-graph mean loss (GraphSAINT norm).
-            return weighted_cross_entropy(
-                logits, subgraph.labels, weights, subgraph.train_mask
-            )
-        if self.fused_loss and self.model.training:
-            return fused_ce(
-                logits, subgraph.labels, subgraph.train_mask,
-                workspace=getattr(self.model, "workspace", None), slot="loss",
-            )
-        return cross_entropy(logits, subgraph.labels, subgraph.train_mask)
+        return batch_loss(self.model, logits, subgraph, self.fused_loss)
 
     def _score(self, logits: np.ndarray, mask: np.ndarray) -> float:
         if self.metric == "accuracy":
@@ -417,6 +510,7 @@ class Engine:
         rounds: List[List[BatchPlan]],
         steps_per_batch: int,
         result: Optional[TrainResult],
+        epoch: int = 0,
     ) -> float:
         """One data-parallel epoch: a round of replica batches per step.
 
@@ -424,16 +518,28 @@ class Engine:
         device hosts them all), each snapshotting its gradients into its
         own workspace row; the fixed-order all-reduce then averages the
         round and a single optimizer step covers it. With one replica per
-        round this replays sequential execution bit for bit.
+        round this replays sequential execution bit for bit. When the flow
+        requests ``processes`` and a pool can be provisioned, each replica
+        instead runs in its own OS process (:meth:`_train_epoch_rounds_procs`).
         """
         flow = self.flow
+        if getattr(flow, "processes", False):
+            pool = self._ensure_replica_pool()
+            if pool is not None:
+                return self._train_epoch_rounds_procs(
+                    rounds, steps_per_batch, result, epoch, pool
+                )
         store = self._replica_store(
             flow.replicas, getattr(flow, "grad_topk", None)
         )
         note = getattr(flow, "note_replica_step", None)
+        accepts_slot = (
+            note is not None
+            and "slot" in inspect.signature(note).parameters
+        )
         note_exchange = getattr(flow, "note_gradient_exchange", None)
         losses: List[float] = []
-        for round_plans in rounds:
+        for round_index, round_plans in enumerate(rounds):
             built: List[Tuple[int, BatchPlan, Graph]] = []
             for replica, plan in enumerate(round_plans):
                 batch = plan.build()
@@ -467,8 +573,12 @@ class Engine:
                     store.capture(replica)
                     last_loss[replica] = loss.item()
                     if note is not None:
-                        note(replica, time.perf_counter() - start,
-                             batch.n_edges)
+                        elapsed = time.perf_counter() - start
+                        if accepts_slot:
+                            note(replica, elapsed, batch.n_edges,
+                                 slot=round_index * flow.replicas + replica)
+                        else:
+                            note(replica, elapsed, batch.n_edges)
                 store.reduce(participants)
                 if note_exchange is not None:
                     note_exchange(store.dense_nbytes, store.payload_nbytes)
@@ -480,6 +590,155 @@ class Engine:
                     result.batch_losses.append(value)
                     result.batch_sizes.append(batch.n_nodes)
                 plan.retire(batch)
+        if not losses:
+            return float("nan")
+        return float(np.mean(losses))
+
+    def _ensure_replica_pool(self):
+        """Provision (or reuse) the process-per-replica pool, or ``None``.
+
+        ``None`` means in-process fallback — the machine can't host the
+        pool (no shared memory, unpicklable flow, too few cores) or the
+        model lacks the hooks the worker mirror needs. The verdict is
+        cached per ``(flow, replicas, topk, graph, backend)`` so the
+        fallback warning fires once, not every epoch.
+        """
+        flow = self.flow
+        key = (
+            id(flow),
+            flow.replicas,
+            getattr(flow, "grad_topk", None),
+            id(self.graph),
+            get_backend().name,
+        )
+        if self._replica_pool_key == key:
+            return self._replica_pool
+        self._close_replica_pool()
+        self._replica_pool_key = key
+        config = getattr(self.model, "config", None)
+        rng = getattr(self.model, "_dropout_rng", None)
+        if config is None or rng is None:
+            warnings.warn(
+                "replica processes need a MaxKGNN model (config + dropout "
+                "rng); falling back to in-process replicas",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        workers = resolve_process_workers(
+            flow.replicas,
+            label="replica processes",
+            payload=(flow.inner, config),
+        )
+        if workers == 0:
+            return None
+        try:
+            self._replica_pool = ReplicaProcessPool(
+                self.graph,
+                flow.inner,
+                config,
+                rng.bit_generator.state,
+                flow.replicas,
+                getattr(flow, "grad_topk", None),
+                self.fused_loss,
+                [int(p.data.size) for p in self.optimizer.parameters],
+            )
+        except Exception as exc:
+            warnings.warn(
+                f"replica process pool failed to start ({exc!r}); "
+                "falling back to in-process replicas",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self._replica_pool = None
+        return self._replica_pool
+
+    def _close_replica_pool(self) -> None:
+        pool = self._replica_pool
+        self._replica_pool = None
+        self._replica_pool_key = None
+        if pool is not None:
+            pool.close()
+
+    def close(self) -> None:
+        """Release worker pools and shared-memory segments (idempotent)."""
+        self._close_replica_pool()
+        close_flow = getattr(self.flow, "close", None)
+        if close_flow is not None:
+            close_flow()
+
+    def _train_epoch_rounds_procs(
+        self,
+        rounds: List[List[BatchPlan]],
+        steps_per_batch: int,
+        result: Optional[TrainResult],
+        epoch: int,
+        pool: ReplicaProcessPool,
+    ) -> float:
+        """One data-parallel epoch with one OS process per replica.
+
+        Workers rebuild their deterministic plan against the shared-memory
+        graph and run forward/backward on a persistent model mirror; the
+        parent ships flat parameters down, deposits each returned gradient
+        payload into the replica store in fixed ascending order, and runs
+        the exact same reduce + optimizer step as the in-process path.
+        Workers already applied top-k selection and updated their own
+        error-feedback residuals, so the parent reduce is ``preselected``.
+        """
+        flow = self.flow
+        store = self._replica_store(
+            flow.replicas, getattr(flow, "grad_topk", None)
+        )
+        note = getattr(flow, "note_replica_step", None)
+        accepts_slot = (
+            note is not None
+            and "slot" in inspect.signature(note).parameters
+        )
+        note_exchange = getattr(flow, "note_gradient_exchange", None)
+        losses: List[float] = []
+        flat: Optional[np.ndarray] = None
+        for round_index, round_plans in enumerate(rounds):
+            assignments = [
+                (replica, round_index * flow.replicas + replica)
+                for replica in range(len(round_plans))
+            ]
+            infos = pool.build(assignments, epoch)
+            participants = [
+                replica for replica, _ in assignments
+                if not infos[replica][0]
+            ]
+            if not participants:
+                # Same stale-gradient hazard as the in-process path: a
+                # fully-skipped round must not leave the previous round's
+                # reduced gradients on the parameters.
+                for p in store.parameters:
+                    p.grad = None
+                continue
+            last_loss: Dict[int, float] = {}
+            for _ in range(steps_per_batch):
+                flat = pack_parameters(self.optimizer.parameters, flat)
+                replies = pool.step(participants, flat)
+                for replica in participants:
+                    payload, loss_value, seconds = replies[replica]
+                    store.deposit(replica, payload)
+                    last_loss[replica] = loss_value
+                    if note is not None:
+                        if accepts_slot:
+                            note(replica, seconds, infos[replica][2],
+                                 slot=round_index * flow.replicas + replica)
+                        else:
+                            note(replica, seconds, infos[replica][2])
+                store.reduce(participants, preselected=True)
+                if note_exchange is not None:
+                    note_exchange(store.dense_nbytes, store.payload_nbytes)
+                self.optimizer.step()
+            pool.retire(participants)
+            for replica in participants:
+                value = last_loss[replica]
+                losses.append(value)
+                if result is not None:
+                    result.batch_losses.append(value)
+                    result.batch_sizes.append(infos[replica][1])
         if not losses:
             return float("nan")
         return float(np.mean(losses))
@@ -500,7 +759,8 @@ class Engine:
         rounds_of = getattr(self.flow, "rounds", None)
         if rounds_of is not None:
             return self._train_epoch_rounds(
-                rounds_of(self.graph, epoch), steps_per_batch, result
+                rounds_of(self.graph, epoch), steps_per_batch, result,
+                epoch=epoch,
             )
         losses: List[float] = []
         for subgraph in self.flow.batches(self.graph, epoch):

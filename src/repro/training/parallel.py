@@ -1,0 +1,526 @@
+"""Process-pool execution over the shared-memory graph store.
+
+Two executors live here, both spawn-started against a
+:class:`~repro.graphs.shm.SharedGraphStore` so workers read the full graph
+zero-copy instead of unpickling it:
+
+* :class:`ProcessPrefetchPool` — ``PrefetchFlow``'s multi-core builder: a
+  ``multiprocessing.Pool`` whose workers rebuild the flow's deterministic
+  ``BatchPlan`` schedule against the shared graph and ship compact
+  subgraph payloads back (batch content is a pure function of
+  ``(seed, slot)``, so worker-built batches are byte-identical to
+  thread-built or inline ones);
+* :class:`ReplicaProcessPool` — ``DistributedFlow``'s process-per-replica
+  round executor: each worker holds a persistent model mirror plus its own
+  single-row :class:`~repro.training.engine.ReplicaGradients` (so
+  ``--grad-topk`` error-feedback residuals live where the gradients are
+  computed), receives ``(round, plan index, current flat params)`` and
+  returns its flat (or top-k compressed) gradient contribution for the
+  parent's fixed-ascending-order all-reduce.
+
+:func:`resolve_process_workers` is the shared degradation gate: no usable
+shared memory, an unpicklable flow, or fewer CPU cores than requested all
+fall back to the in-process path with a single warning — never a crash.
+``REPRO_FORCE_PROCS=1`` overrides the core-count check so single-core CI
+can still exercise the real process path.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import traceback
+import warnings
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..graphs.shm import (
+    SharedGraphHandle,
+    SharedGraphStore,
+    shared_memory_available,
+)
+from ..sparse import CSRMatrix
+from ..sparse.ops import get_backend, set_backend
+
+__all__ = [
+    "available_cores",
+    "processes_forced",
+    "resolve_process_workers",
+    "graph_payload",
+    "graph_from_payload",
+    "pack_parameters",
+    "unpack_parameters",
+    "ProcessPrefetchPool",
+    "ReplicaProcessPool",
+]
+
+#: Set to ``1`` to run process pools even when the host reports fewer CPU
+#: cores than requested workers (tests / single-core CI coverage).
+FORCE_ENV = "REPRO_FORCE_PROCS"
+
+
+def available_cores() -> int:
+    """Usable CPU cores (affinity-aware where the platform reports it)."""
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:
+            pass
+    return os.cpu_count() or 1
+
+
+def processes_forced() -> bool:
+    return os.environ.get(FORCE_ENV, "") not in ("", "0")
+
+
+def _picklable(obj) -> bool:
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+def resolve_process_workers(requested: int, label: str = "workers",
+                            payload=None) -> int:
+    """How many worker processes to actually start (0 = stay in-process).
+
+    Degrades gracefully — one warning, never a crash — when the host has
+    no usable shared memory, ``payload`` (the flow/config a worker must
+    unpickle) does not pickle, or fewer cores than ``requested`` are
+    available (overridable via :data:`FORCE_ENV` for tests).
+    """
+    if requested < 1:
+        return 0
+    if not shared_memory_available():
+        warnings.warn(
+            f"shared memory unavailable; {label} falling back to the "
+            "in-process path",
+            RuntimeWarning, stacklevel=2,
+        )
+        return 0
+    if payload is not None and not _picklable(payload):
+        warnings.warn(
+            f"{label} payload is not picklable for a spawn worker; "
+            "falling back to the in-process path",
+            RuntimeWarning, stacklevel=2,
+        )
+        return 0
+    cores = available_cores()
+    if cores < requested and not processes_forced():
+        warnings.warn(
+            f"{cores} CPU core(s) available but {requested} {label} "
+            "requested; falling back to the in-process path "
+            f"(set {FORCE_ENV}=1 to force process execution)",
+            RuntimeWarning, stacklevel=2,
+        )
+        return 0
+    return requested
+
+
+# ----------------------------------------------------------------------
+# Subgraph payload codec: what a builder worker ships back to the parent.
+# Built subgraphs are process-local copies (induced/sampled arrays), so
+# pickling them back is safe; adjacency CSRs the engine will need are
+# pre-built worker-side so that cost also leaves the training process.
+# ----------------------------------------------------------------------
+
+def graph_payload(graph: Graph, warm_norms: Sequence[str] = ()) -> dict:
+    """Serialise a built batch, pre-building the engine's adjacencies."""
+    adjacency = {}
+    for norm in warm_norms:
+        key = "none" if norm == "gin" else norm
+        for cache_key, csr in (
+            (key, graph.adjacency(norm)),
+            (key + "^T", graph.adjacency_transpose(norm)),
+        ):
+            adjacency[cache_key] = (
+                csr.indptr, csr.indices, csr.data, tuple(csr.shape)
+            )
+    return {
+        "n_nodes": graph.n_nodes,
+        "name": graph.name,
+        "multilabel": graph.multilabel,
+        "arrays": {
+            field: getattr(graph, field)
+            for field in (
+                "src", "dst", "features", "labels", "train_mask",
+                "val_mask", "test_mask", "communities", "loss_weights",
+            )
+        },
+        "adjacency": adjacency,
+    }
+
+
+def graph_from_payload(payload: dict) -> Graph:
+    graph = Graph(
+        n_nodes=payload["n_nodes"],
+        name=payload["name"],
+        multilabel=payload["multilabel"],
+        **payload["arrays"],
+    )
+    for key, (indptr, indices, data, shape) in payload["adjacency"].items():
+        graph._adj_cache[key] = CSRMatrix(
+            indptr=indptr, indices=indices, data=data, shape=tuple(shape)
+        )
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Flat-parameter codec for the replica protocol.
+# ----------------------------------------------------------------------
+
+def pack_parameters(parameters, out: Optional[np.ndarray] = None
+                    ) -> np.ndarray:
+    """Concatenate every parameter's data into one float64 vector."""
+    total = sum(p.data.size for p in parameters)
+    if out is None or out.size != total:
+        out = np.empty(total, dtype=np.float64)
+    offset = 0
+    for p in parameters:
+        size = p.data.size
+        out[offset:offset + size] = p.data.ravel()
+        offset += size
+    return out
+
+
+def unpack_parameters(parameters, flat: np.ndarray) -> None:
+    offset = 0
+    for p in parameters:
+        size = p.data.size
+        p.data[...] = flat[offset:offset + size].reshape(p.data.shape)
+        offset += size
+
+
+# ----------------------------------------------------------------------
+# Prefetch builder pool (PrefetchFlow's multi-core path).
+# ----------------------------------------------------------------------
+
+_PREFETCH_STATE: Optional[tuple] = None
+
+
+def _prefetch_init(backend_name: str, handle: SharedGraphHandle,
+                   flow_bytes: bytes, warm_norms: Tuple[str, ...]) -> None:
+    """Spawn bootstrap: backend, shared graph, and this worker's flow."""
+    global _PREFETCH_STATE
+    set_backend(backend_name)
+    store = SharedGraphStore.attach(handle)
+    flow = pickle.loads(flow_bytes)
+    _PREFETCH_STATE = (flow, store.graph(), warm_norms, store)
+
+
+def _prefetch_build(epoch: int, index: int) -> dict:
+    """Build plan ``index`` of ``epoch`` against the shared graph."""
+    flow, graph, warm_norms, _ = _PREFETCH_STATE
+    plans = flow.plan(graph, epoch)
+    batch = plans[index].build()
+    payload = graph_payload(batch, warm_norms)
+    # Worker-side cleanup mirrors the consumer contract: one-shot batches
+    # release their backend wrappers here (the worker's own backend —
+    # bounded by its LRU either way, but tidy beats bounded).
+    plans[index].retire(batch)
+    return payload
+
+
+class PrefetchWorkerError(RuntimeError):
+    """A prefetch builder failed; names the originating schedule slot."""
+
+    def __init__(self, slot: Optional[int], epoch: int,
+                 original: BaseException):
+        where = "unknown slot" if slot is None else f"plan slot {slot}"
+        super().__init__(
+            f"prefetch builder failed at {where} of epoch {epoch}: "
+            f"{original!r}"
+        )
+        self.slot = slot
+        self.epoch = epoch
+        self.original = original
+
+
+class ProcessPrefetchPool:
+    """A spawn pool building one flow's ``BatchPlan`` schedule off-process."""
+
+    def __init__(self, inner_flow, graph: Graph, workers: int,
+                 warm_norms: Sequence[str] = ()):
+        import multiprocessing as mp
+
+        self.workers = workers
+        self.graph = graph
+        self._store = SharedGraphStore.export(graph)
+        self._failures: Dict[Tuple[int, int], BaseException] = {}
+        try:
+            ctx = mp.get_context("spawn")
+            self._pool = ctx.Pool(
+                processes=workers,
+                initializer=_prefetch_init,
+                initargs=(
+                    get_backend().name, self._store.handle(),
+                    pickle.dumps(inner_flow), tuple(warm_norms),
+                ),
+            )
+        except BaseException:
+            self._store.close()
+            self._store.unlink()
+            raise
+        self._closed = False
+
+    def submit_epoch(self, epoch: int, n_plans: int) -> list:
+        """Queue every plan of ``epoch``; returns its ``AsyncResult``s."""
+        results = []
+        for index in range(n_plans):
+            results.append(self._pool.apply_async(
+                _prefetch_build, (epoch, index),
+                error_callback=self._on_error(epoch, index),
+            ))
+        return results
+
+    def _on_error(self, epoch: int, index: int):
+        def record(exc: BaseException) -> None:
+            key = (epoch, index)
+            if key not in self._failures:
+                self._failures[key] = exc
+        return record
+
+    def failure_for(self, epoch: int) -> Optional[Tuple[int, BaseException]]:
+        """Earliest recorded builder failure of ``epoch``, if any."""
+        slots = [slot for (e, slot) in self._failures if e == epoch]
+        if not slots:
+            return None
+        slot = min(slots)
+        return slot, self._failures[(epoch, slot)]
+
+    def close(self) -> None:
+        """Terminate the workers and free the shared segments (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.terminate()
+        self._pool.join()
+        self._store.close()
+        self._store.unlink()
+
+
+# ----------------------------------------------------------------------
+# Process-per-replica round executor (DistributedFlow's multi-core path).
+# ----------------------------------------------------------------------
+
+def _replica_worker(conn, spec: dict) -> None:
+    """One replica: persistent model mirror + gradient store, message loop.
+
+    Protocol (parent → worker → parent):
+
+    * ``("build", epoch, plan_index)`` → ``("built", skip, n_nodes,
+      n_edges)`` — rebuild the deterministic plan against the shared
+      graph; ``skip`` marks an all-unlabelled batch (retired on the spot).
+    * ``("step", flat_params)`` → ``("grad", payload, loss, seconds)`` —
+      overwrite the mirror's parameters, run forward/backward on the
+      current batch, pass the gradients through the worker's own
+      single-row :class:`ReplicaGradients` (identity for dense; top-k
+      selection + error-feedback residual update for ``grad_topk``), and
+      ship the per-parameter payload.
+    * ``("retire",)`` — consumer-side cleanup once the round finished.
+    * ``("stop",)`` — exit the loop.
+    """
+    store = None
+    try:
+        set_backend(spec["backend"])
+        store = SharedGraphStore.attach(spec["handle"])
+        graph = store.graph()
+        flow = pickle.loads(spec["flow"])
+
+        from ..models import MaxKGNN
+        from .engine import ReplicaGradients, batch_loss
+
+        # Parameter values are overwritten from the parent's flat vector
+        # every step, so the mirror's init seed is irrelevant — only the
+        # architecture (and hence the span layout) must match.
+        model = MaxKGNN(graph, spec["config"], seed=0)
+        bit_generator = np.random.PCG64()
+        bit_generator.state = spec["rng_state"]
+        if spec["replica"]:
+            # Independent deterministic stream per replica; replica 0
+            # keeps the parent's stream verbatim so R=1 is bit-identical.
+            bit_generator = bit_generator.jumped(spec["replica"])
+        model._dropout_rng = np.random.Generator(bit_generator)
+        parameters = list(model.parameters())
+        grads = ReplicaGradients(parameters, 1, topk=spec["grad_topk"])
+        fused_loss = spec["fused_loss"]
+        conn.send(("ready", [int(p.data.size) for p in parameters]))
+
+        plan = None
+        batch = None
+        features = None
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "stop":
+                break
+            if kind == "build":
+                _, epoch, plan_index = message
+                plan = flow.plan(graph, epoch)[plan_index]
+                batch = plan.build()
+                mask = batch.train_mask
+                skip = mask is not None and not np.any(mask)
+                reply = ("built", skip, batch.n_nodes, batch.n_edges)
+                if skip:
+                    plan.retire(batch)
+                    plan = None
+                    batch = None
+                    features = None
+                else:
+                    features = np.asarray(batch.features, dtype=np.float64)
+                    model.bind_graph(batch)
+                conn.send(reply)
+            elif kind == "step":
+                start = time.perf_counter()
+                unpack_parameters(parameters, message[1])
+                for p in parameters:
+                    p.zero_grad()
+                logits = model(features)
+                loss = batch_loss(model, logits, batch, fused_loss)
+                loss.backward()
+                grads.capture(0)
+                # Single-participant reduce: dense is copy × 1.0 (exact);
+                # top-k applies the residual-corrected selection and
+                # updates this replica's residual — byte-for-byte the
+                # in-process store's per-replica arithmetic.
+                grads.reduce([0])
+                payload = grads.export_payload()
+                seconds = time.perf_counter() - start
+                conn.send(("grad", payload, float(loss.item()), seconds))
+            elif kind == "retire":
+                if plan is not None and batch is not None:
+                    plan.retire(batch)
+                plan = None
+                batch = None
+                features = None
+    except (EOFError, KeyboardInterrupt, BrokenPipeError):
+        pass
+    except BaseException as exc:
+        try:
+            conn.send(("error", repr(exc), traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        if store is not None:
+            store.close()
+        conn.close()
+
+
+class ReplicaProcessPool:
+    """One persistent spawn process per :class:`DistributedFlow` replica."""
+
+    def __init__(self, graph: Graph, inner_flow, config, rng_state,
+                 replicas: int, grad_topk: Optional[int],
+                 fused_loss: bool, param_sizes: Sequence[int]):
+        import multiprocessing as mp
+
+        self.replicas = replicas
+        self._store = SharedGraphStore.export(graph)
+        self._closed = False
+        self._conns: list = []
+        self._procs: list = []
+        ctx = mp.get_context("spawn")
+        flow_bytes = pickle.dumps(inner_flow)
+        try:
+            for replica in range(replicas):
+                parent_conn, child_conn = ctx.Pipe()
+                spec = {
+                    "backend": get_backend().name,
+                    "handle": self._store.handle(),
+                    "flow": flow_bytes,
+                    "config": config,
+                    "rng_state": rng_state,
+                    "replica": replica,
+                    "grad_topk": grad_topk,
+                    "fused_loss": fused_loss,
+                }
+                proc = ctx.Process(
+                    target=_replica_worker, args=(child_conn, spec),
+                    name=f"repro-replica-{replica}", daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+            for replica in range(replicas):
+                kind, sizes = self._recv(replica)
+                if kind != "ready" or list(sizes) != list(param_sizes):
+                    raise RuntimeError(
+                        f"replica worker {replica} mirror layout mismatch: "
+                        f"{sizes} != {list(param_sizes)}"
+                    )
+        except BaseException:
+            self.close()
+            raise
+
+    def _recv(self, replica: int):
+        try:
+            message = self._conns[replica].recv()
+        except EOFError:
+            raise RuntimeError(
+                f"replica worker {replica} exited unexpectedly"
+            ) from None
+        if message[0] == "error":
+            raise RuntimeError(
+                f"replica worker {replica} failed: {message[1]}\n"
+                f"{message[2]}"
+            )
+        return message
+
+    def build(self, assignments: Sequence[Tuple[int, int]], epoch: int
+              ) -> Dict[int, Tuple[bool, int, int]]:
+        """Build one round: ``(replica, plan_index)`` pairs, in parallel."""
+        for replica, plan_index in assignments:
+            self._conns[replica].send(("build", epoch, plan_index))
+        infos = {}
+        for replica, _ in assignments:
+            _, skip, n_nodes, n_edges = self._recv(replica)
+            infos[replica] = (bool(skip), int(n_nodes), int(n_edges))
+        return infos
+
+    def step(self, participants: Sequence[int], flat_params: np.ndarray
+             ) -> Dict[int, Tuple[list, float, float]]:
+        """One synchronous gradient step across the participants."""
+        for replica in participants:
+            self._conns[replica].send(("step", flat_params))
+        replies = {}
+        for replica in participants:
+            _, payload, loss, seconds = self._recv(replica)
+            replies[replica] = (payload, loss, seconds)
+        return replies
+
+    def retire(self, participants: Sequence[int]) -> None:
+        for replica in participants:
+            try:
+                self._conns[replica].send(("retire",))
+            except (OSError, BrokenPipeError):
+                pass
+
+    def close(self) -> None:
+        """Stop the workers, join them, free the shared segments."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._conns = []
+        self._procs = []
+        self._store.close()
+        self._store.unlink()

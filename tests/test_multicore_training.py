@@ -1,0 +1,211 @@
+"""Cross-process determinism tests for true multi-core execution (PR 7).
+
+The process pools must be invisible to the numerics: a process-built
+prefetch stream is byte-identical to the thread-built one, a process-per-
+replica round is bit-identical to the in-process store at R=1 (and at
+R>1 with dropout disabled — the only RNG the replica mirrors consume),
+and seed-reproducible otherwise, dense and top-k alike. Failure paths
+degrade gracefully: prompt, slot-attributed errors from broken builders;
+a single warning and in-process fallback when the host can't host the
+pool; and no leaked shared-memory segments or zombie workers after
+``Engine.close``.
+
+``REPRO_FORCE_PROCS=1`` lets these run on single-core CI: the resolver
+skips its core-count gate, so the pools genuinely exercise the spawn
+path (correctness everywhere; the *scaling* gates live in
+``benchmarks/test_multicore.py`` and auto-relax on one core).
+"""
+
+import multiprocessing
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    attach_classification_task,
+    owned_segment_count,
+    sbm_graph,
+    shared_memory_available,
+)
+from repro.models import GNNConfig, MaxKGNN
+from repro.sparse import ops
+from repro.training import Engine, PrefetchWorkerError, make_flow
+from repro.training.parallel import available_cores
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(),
+    reason="host cannot create POSIX shared memory",
+)
+
+
+@pytest.fixture
+def force_procs(monkeypatch):
+    monkeypatch.setenv("REPRO_FORCE_PROCS", "1")
+
+
+@pytest.fixture(params=ops.available_backends())
+def backend(request):
+    with ops.use_backend(request.param):
+        yield request.param
+
+
+def _task_graph(n=150, seed=9):
+    graph = sbm_graph(n, 4, 8.0, intra_fraction=0.7, seed=seed).to_undirected()
+    attach_classification_task(graph, n_features=8, signal=0.5, seed=seed)
+    return graph
+
+
+def _config(dropout=0.1):
+    return GNNConfig(
+        model_type="sage", in_features=8, hidden=16, out_features=4,
+        n_layers=2, nonlinearity="maxk", k=4, dropout=dropout,
+    )
+
+
+def _run_sampled(workers, epochs=2):
+    graph = _task_graph()
+    flow = make_flow(
+        "sampled", sampler="node", batches_per_epoch=2, sample_size=60,
+        seed=3, prefetch=2, prefetch_workers=workers,
+    )
+    engine = Engine(MaxKGNN(graph, _config(), seed=0), graph, flow, lr=0.01)
+    try:
+        losses = [engine.train_epoch(epoch=e) for e in range(epochs)]
+        params = [p.data.copy() for p in engine.optimizer.parameters]
+    finally:
+        engine.close()
+    return losses, params
+
+
+def _run_distributed(replicas, processes, topk=None, dropout=0.1, epochs=2):
+    graph = _task_graph()
+    flow = make_flow(
+        "distributed", inner="partitioned", replicas=replicas,
+        grad_topk=topk, processes=processes, n_parts=4,
+        boundary_fraction=0.2, seed=7,
+    )
+    engine = Engine(MaxKGNN(graph, _config(dropout), seed=0), graph, flow,
+                    lr=0.01)
+    try:
+        losses = [engine.train_epoch(epoch=e) for e in range(epochs)]
+        params = [p.data.copy() for p in engine.optimizer.parameters]
+    finally:
+        engine.close()
+    return losses, params
+
+
+def _identical(a, b):
+    return a[0] == b[0] and all(
+        np.array_equal(x, y) for x, y in zip(a[1], b[1])
+    )
+
+
+def _no_leaks():
+    assert owned_segment_count() == 0
+    assert not multiprocessing.active_children()
+
+
+def _broken_sampler(graph, size, seed=0):
+    # Module-level so it pickles into the spawn worker.
+    raise RuntimeError("sampler exploded")
+
+
+class TestProcessPrefetch:
+    def test_matches_thread_builder_bitwise(self, force_procs):
+        thread = _run_sampled("thread")
+        procs = _run_sampled(2)
+        assert _identical(thread, procs)
+        _no_leaks()
+
+    def test_worker_failure_is_prompt_and_slot_attributed(self, force_procs):
+        graph = _task_graph(60)
+        flow = make_flow(
+            "sampled", sampler=_broken_sampler, sample_size=10, seed=0,
+            prefetch=2, prefetch_workers=2,
+        )
+        try:
+            # The historical contract: a RuntimeError whose message embeds
+            # the original error; the new one: the originating plan slot.
+            with pytest.raises(RuntimeError, match="sampler exploded") as info:
+                list(flow.batches(graph, 0))
+            assert isinstance(info.value, PrefetchWorkerError)
+            assert info.value.slot == 0
+            assert info.value.epoch == 0
+            assert "slot 0" in str(info.value)
+        finally:
+            flow.close()
+        _no_leaks()
+
+    def test_falls_back_to_thread_when_cores_are_short(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FORCE_PROCS", raising=False)
+        with pytest.warns(RuntimeWarning, match="in-process"):
+            over = _run_sampled(available_cores() + 1)
+        assert _identical(over, _run_sampled("thread"))
+        _no_leaks()
+
+
+class TestReplicaProcesses:
+    def test_r1_bit_identical(self, force_procs, backend):
+        # R=1 replays the in-process trajectory bit for bit even with
+        # dropout: replica 0 inherits the parent's RNG stream verbatim.
+        assert _identical(
+            _run_distributed(1, False), _run_distributed(1, True)
+        )
+        _no_leaks()
+
+    def test_r2_dense_bit_identical_without_dropout(self, force_procs):
+        assert _identical(
+            _run_distributed(2, False, dropout=0.0),
+            _run_distributed(2, True, dropout=0.0),
+        )
+        _no_leaks()
+
+    def test_r2_topk_bit_identical_without_dropout(self, force_procs):
+        assert _identical(
+            _run_distributed(2, False, topk=4, dropout=0.0),
+            _run_distributed(2, True, topk=4, dropout=0.0),
+        )
+        _no_leaks()
+
+    def test_r2_seed_reproducible_with_dropout(self, force_procs):
+        # With dropout the replica mirrors draw from jumped streams, so
+        # R>1 is seed-reproducible rather than equal to in-process.
+        assert _identical(
+            _run_distributed(2, True, dropout=0.1),
+            _run_distributed(2, True, dropout=0.1),
+        )
+        _no_leaks()
+
+    def test_falls_back_in_process_with_one_warning(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FORCE_PROCS", raising=False)
+        replicas = available_cores() + 1
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            procs = _run_distributed(replicas, True, epochs=3)
+        relevant = [w for w in caught
+                    if issubclass(w.category, RuntimeWarning)
+                    and "in-process" in str(w.message)]
+        # The verdict is cached: one warning, not one per epoch.
+        assert len(relevant) == 1
+        assert _identical(procs, _run_distributed(replicas, False, epochs=3))
+        _no_leaks()
+
+    def test_pool_persists_across_epochs(self, force_procs):
+        graph = _task_graph()
+        flow = make_flow(
+            "distributed", inner="partitioned", replicas=2, processes=True,
+            n_parts=4, boundary_fraction=0.2, seed=7,
+        )
+        engine = Engine(MaxKGNN(graph, _config(), seed=0), graph, flow,
+                        lr=0.01)
+        try:
+            engine.train_epoch(epoch=0)
+            pool = engine._replica_pool
+            assert pool is not None
+            engine.train_epoch(epoch=1)
+            assert engine._replica_pool is pool  # no churn per epoch
+        finally:
+            engine.close()
+            engine.close()  # idempotent
+        _no_leaks()
