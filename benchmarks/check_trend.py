@@ -147,8 +147,21 @@ def main(argv=None) -> int:
         if not baseline_path.exists():
             print(f"[new]  {current_path.name}: no committed baseline yet")
             continue
-        baseline = json.loads(baseline_path.read_text())
-        current = json.loads(current_path.read_text())
+        try:
+            baseline = json.loads(baseline_path.read_text())
+        except ValueError as exc:
+            print(f"[FAIL] {baseline_path}: corrupt or partially-written "
+                  f"JSON ({exc}); re-generate the committed baseline")
+            failures += 1
+            continue
+        try:
+            current = json.loads(current_path.read_text())
+        except ValueError as exc:
+            print(f"[FAIL] {current_path}: corrupt or partially-written "
+                  f"JSON ({exc}); the benchmark run that wrote it was "
+                  f"interrupted — re-run it")
+            failures += 1
+            continue
         noise_floor = 0.0 if args.gate_all else args.noise_floor
         for path, kind, base, cur, ok in compare_file(
             baseline, current, args.tolerance, args.include_times,

@@ -8,6 +8,7 @@ JSON files via :func:`record_json` (e.g. ``results/BENCH_pipeline.json``).
 """
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -15,6 +16,22 @@ import pytest
 from repro.experiments.common import perf_smoke_enabled
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write via a temporary sibling + ``os.replace`` so a benchmark run
+    killed mid-write can never leave a torn artifact for the trend check
+    to choke on."""
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 @pytest.fixture(scope="session")
@@ -36,7 +53,7 @@ def record_result(results_dir):
     def _record(name: str, text: str) -> None:
         if not smoke:
             path = results_dir / f"{name}.txt"
-            path.write_text(text + "\n")
+            _atomic_write_text(path, text + "\n")
         # Also echo to stdout for -s runs.
         print(f"\n=== {name} ===\n{text}")
 
@@ -65,6 +82,8 @@ def record_json(results_dir):
         if path.exists():
             merged = json.loads(path.read_text())
         merged[key] = payload
-        path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+        _atomic_write_text(
+            path, json.dumps(merged, indent=2, sort_keys=True) + "\n"
+        )
 
     return _record

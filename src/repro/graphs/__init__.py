@@ -36,8 +36,10 @@ from .reorder import (
 from .shm import (
     SharedGraphHandle,
     SharedGraphStore,
+    StaleHandleError,
     owned_segment_count,
     shared_memory_available,
+    sweep_leaked_segments,
 )
 from .sampling import (
     as_generator,
@@ -81,8 +83,10 @@ __all__ = [
     "REORDERINGS",
     "SharedGraphHandle",
     "SharedGraphStore",
+    "StaleHandleError",
     "owned_segment_count",
     "shared_memory_available",
+    "sweep_leaked_segments",
     "as_generator",
     "degree_node_probabilities",
     "degree_edge_probabilities",

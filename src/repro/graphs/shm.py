@@ -26,6 +26,8 @@ entry and make the owner's later unlink complain; don't.)
 
 from __future__ import annotations
 
+import os
+import re
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -37,10 +39,21 @@ from .graph import Graph
 __all__ = [
     "SharedGraphHandle",
     "SharedGraphStore",
+    "StaleHandleError",
     "shared_memory_available",
     "owned_segment_count",
     "owned_segment_names",
+    "sweep_leaked_segments",
 ]
+
+
+class StaleHandleError(RuntimeError):
+    """A :class:`SharedGraphHandle` points at segments that no longer exist.
+
+    Raised when a (respawned) worker attaches a handle whose owner already
+    unlinked the segments — e.g. a handle from a previous store generation
+    that survived a crash/restart cycle in a worker spec.
+    """
 
 #: Graph array fields exported to shared memory (``None`` fields skipped).
 _ARRAY_FIELDS = (
@@ -51,6 +64,23 @@ _ARRAY_FIELDS = (
 #: Segment names this process created and has not yet unlinked.
 _OWNED: set = set()
 
+#: Store generations exported by this process (stamps handles + names).
+_GENERATION = 0
+
+#: Monotonic per-process segment counter (uniquifies names).
+_SEQ = 0
+
+#: Whether this process has already swept leaked segments / written its
+#: pidfile (both happen lazily at the first export).
+_SWEPT = False
+
+#: All segments this module creates follow this prefix so a startup sweep
+#: can recognise (and reclaim) segments leaked by a crashed previous run.
+_NAME_PREFIX = "repro-shm-"
+_SEGMENT_RE = re.compile(r"^repro-shm-(\d+)-(\d+)-(\d+)$")
+_PIDFILE_RE = re.compile(r"^repro-shm-(\d+)\.pid$")
+_SHM_DIR = "/dev/shm"
+
 
 def owned_segment_names() -> frozenset:
     return frozenset(_OWNED)
@@ -59,6 +89,80 @@ def owned_segment_names() -> frozenset:
 def owned_segment_count() -> int:
     """Live shared segments owned by this process (leak-check hook)."""
     return len(_OWNED)
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
+
+
+def _pidfile_path(pid: int) -> str:
+    return os.path.join(_SHM_DIR, f"{_NAME_PREFIX}{pid}.pid")
+
+
+def _write_pidfile() -> None:
+    """Mark this process as a live segment owner (crash-sweep evidence)."""
+    if not os.path.isdir(_SHM_DIR):
+        return
+    try:
+        with open(_pidfile_path(os.getpid()), "w") as handle:
+            handle.write(str(os.getpid()))
+    except OSError:
+        pass
+
+
+def sweep_leaked_segments() -> int:
+    """Unlink segments leaked by crashed runs; return how many were freed.
+
+    A segment is leaked when its embedded owner pid is dead, or when the
+    pid is alive but never wrote this module's pidfile (pid reuse by an
+    unrelated process). Segments owned by *this* process are never touched.
+    Stale pidfiles of dead owners are cleaned up as well (not counted).
+    Runs automatically once per process at the first export; callable
+    directly for explicit startup hygiene.
+    """
+    if not os.path.isdir(_SHM_DIR):
+        return 0
+    try:
+        entries = os.listdir(_SHM_DIR)
+    except OSError:
+        return 0
+    freed = 0
+    self_pid = os.getpid()
+    for entry in entries:
+        match = _SEGMENT_RE.match(entry)
+        if match is None:
+            pid_match = _PIDFILE_RE.match(entry)
+            if pid_match is not None and not _pid_alive(int(pid_match[1])):
+                try:
+                    os.unlink(os.path.join(_SHM_DIR, entry))
+                except OSError:
+                    pass
+            continue
+        owner = int(match[1])
+        if owner == self_pid:
+            continue
+        if _pid_alive(owner) and os.path.exists(_pidfile_path(owner)):
+            continue
+        try:
+            os.unlink(os.path.join(_SHM_DIR, entry))
+            freed += 1
+        except OSError:
+            pass
+    return freed
+
+
+def _next_segment_name() -> str:
+    global _SEQ
+    _SEQ += 1
+    return f"{_NAME_PREFIX}{os.getpid()}-{_GENERATION}-{_SEQ}"
 
 
 _PROBED: Optional[bool] = None
@@ -110,6 +214,11 @@ class SharedGraphHandle:
     arrays: Tuple[_ArraySpec, ...]
     #: ``(cache_key, shape, (indptr, indices, data) specs)`` per cached CSR.
     adjacency: Tuple[Tuple[str, Tuple[int, int], Tuple[_ArraySpec, ...]], ...]
+    #: Which export generation of the owning process minted this handle.
+    #: A respawned worker handed a handle from an already-unlinked store
+    #: fails fast in :meth:`SharedGraphStore.attach` instead of mapping
+    #: whatever segment happens to carry the recycled name.
+    generation: int = 0
 
 
 class SharedGraphStore:
@@ -127,10 +236,15 @@ class SharedGraphStore:
     @classmethod
     def export(cls, graph: Graph) -> "SharedGraphStore":
         """Copy ``graph``'s arrays into fresh shared segments (owner side)."""
-        from multiprocessing import shared_memory
+        global _GENERATION, _SWEPT
 
         store = cls()
         store._owner = True
+        _GENERATION += 1
+        if not _SWEPT:
+            _SWEPT = True
+            sweep_leaked_segments()
+            _write_pidfile()
         try:
             specs = []
             for field in _ARRAY_FIELDS:
@@ -157,6 +271,7 @@ class SharedGraphStore:
                 multilabel=graph.multilabel,
                 arrays=tuple(specs),
                 adjacency=tuple(adjacency),
+                generation=_GENERATION,
             )
             store._graph = graph
         except BaseException:
@@ -170,9 +285,23 @@ class SharedGraphStore:
 
         array = np.ascontiguousarray(array)
         # A zero-length segment is illegal; keep one byte for empty arrays.
-        shm = shared_memory.SharedMemory(
-            create=True, size=max(int(array.nbytes), 1)
-        )
+        # Names embed owner pid + generation so crash sweeps can attribute
+        # segments; a leftover name (freed pid slot, unswept crash) just
+        # advances the sequence counter and retries.
+        shm = None
+        for _ in range(64):
+            try:
+                shm = shared_memory.SharedMemory(
+                    name=_next_segment_name(), create=True,
+                    size=max(int(array.nbytes), 1),
+                )
+                break
+            except FileExistsError:
+                continue
+        if shm is None:
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(int(array.nbytes), 1)
+            )
         _OWNED.add(shm.name)
         self._segments.append(shm)
         self.nbytes += int(array.nbytes)
@@ -200,7 +329,16 @@ class SharedGraphStore:
                 # Attaching re-registers with the (shared, inherited)
                 # resource tracker on 3.11 — a set-add no-op; the owner's
                 # unlink() balances the single entry. See module docstring.
-                shm = shared_memory.SharedMemory(name=spec.segment)
+                try:
+                    shm = shared_memory.SharedMemory(name=spec.segment)
+                except FileNotFoundError:
+                    raise StaleHandleError(
+                        f"shared segment {spec.segment!r} (graph "
+                        f"{handle.name!r}, store generation "
+                        f"{handle.generation}) no longer exists; the owner "
+                        "unlinked it. Re-export the graph and hand workers "
+                        "the fresh handle."
+                    ) from None
                 segments[spec.segment] = shm
                 store._segments.append(shm)
             array = np.ndarray(

@@ -1,10 +1,22 @@
 """Training system: execution engine, data flows, metrics, latency model."""
 
 from .checkpoint import (
+    CheckpointError,
+    config_fingerprint,
+    latest_checkpoint,
     load_checkpoint,
     load_state_dict,
+    named_parameters,
+    read_checkpoint,
     save_checkpoint,
     state_dict,
+    write_checkpoint,
+)
+from .faults import (
+    FaultEvent,
+    FaultPlan,
+    current_fault_plan,
+    set_fault_plan,
 )
 from .dataflow import (
     BatchPlan,
@@ -20,7 +32,14 @@ from .dataflow import (
     make_flow,
 )
 from .engine import Engine, ReplicaGradients, batch_loss
-from .parallel import available_cores, resolve_process_workers
+from .parallel import (
+    ReplicaWorkerError,
+    SupervisorConfig,
+    WorkerSupervisionError,
+    available_cores,
+    reset_fallback_warnings,
+    resolve_process_workers,
+)
 from .metrics import accuracy, micro_f1, roc_auc
 from .partitioned import (
     PartitionedTrainer,
@@ -41,7 +60,15 @@ __all__ = [
     "ReplicaGradients",
     "batch_loss",
     "available_cores",
+    "reset_fallback_warnings",
     "resolve_process_workers",
+    "SupervisorConfig",
+    "WorkerSupervisionError",
+    "ReplicaWorkerError",
+    "FaultEvent",
+    "FaultPlan",
+    "set_fault_plan",
+    "current_fault_plan",
     "BatchPlan",
     "PrefetchWorkerError",
     "DataFlow",
@@ -66,6 +93,12 @@ __all__ = [
     "load_state_dict",
     "save_checkpoint",
     "load_checkpoint",
+    "latest_checkpoint",
+    "named_parameters",
+    "config_fingerprint",
+    "CheckpointError",
+    "read_checkpoint",
+    "write_checkpoint",
     "StepLR",
     "CosineLR",
     "EarlyStopping",

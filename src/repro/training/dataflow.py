@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import warnings
 from collections import OrderedDict
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
@@ -56,7 +57,7 @@ from ..sparse.ops import get_backend
 from .parallel import (
     PrefetchWorkerError,
     ProcessPrefetchPool,
-    graph_from_payload,
+    WorkerSupervisionError,
     resolve_process_workers,
 )
 
@@ -877,13 +878,24 @@ class PrefetchFlow(DataFlow):
             )
         return self._proc_workers > 0
 
-    def _ensure_proc_pool(self, graph: Graph) -> ProcessPrefetchPool:
+    def _ensure_proc_pool(self, graph: Graph
+                          ) -> Optional[ProcessPrefetchPool]:
         if self._proc_pool is not None and self._proc_graph is not graph:
             self._close_proc_pool()
         if self._proc_pool is None:
-            self._proc_pool = ProcessPrefetchPool(
-                self.inner, graph, self._proc_workers, self.warm_norms
-            )
+            try:
+                self._proc_pool = ProcessPrefetchPool(
+                    self.inner, graph, self._proc_workers, self.warm_norms
+                )
+            except Exception as exc:
+                warnings.warn(
+                    f"prefetch process pool failed to start ({exc!r}); "
+                    "falling back to the prefetch thread",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
+                self._proc_workers = 0
+                return None
             self._proc_graph = graph
             self._proc_pending = {}
         return self._proc_pool
@@ -894,42 +906,59 @@ class PrefetchFlow(DataFlow):
             return
         plans = self.inner.plan(graph, epoch)
         if plans is not None:
-            self._proc_pending[key] = self._proc_pool.submit_epoch(
-                epoch, len(plans)
-            )
+            self._proc_pool.submit_epoch(epoch, len(plans))
+            self._proc_pending[key] = len(plans)
 
     def _process_batches(self, graph: Graph, epoch: int) -> Iterator[Graph]:
-        """Consume one epoch built by the worker processes.
+        """Consume one epoch built by the supervised worker processes.
 
         Workers rebuild the deterministic ``(seed, slot)`` schedule
         against the shared-memory graph, so payloads are byte-identical
-        to thread-built batches. Failures surface promptly: the pool
-        records the earliest errored slot of the epoch as soon as its
-        task dies, and the consumer checks it before every hand-off.
+        to thread-built batches — and because any worker can rebuild any
+        slot, the pool transparently respawns crashed or hung workers and
+        replays their slots (:class:`ProcessPrefetchPool`). Only two
+        failures reach this consumer: a *deterministic* build error
+        (:class:`PrefetchWorkerError` — retrying cannot help, so it
+        propagates exactly like the thread path's) and supervised-recovery
+        exhaustion (:class:`WorkerSupervisionError`), on which the flow
+        warns once, finishes the epoch's remaining slots inline, and pins
+        the thread fallback for the rest of its life.
         """
         plans = self.inner.plan(graph, epoch)
         if plans is None:  # unschedulable inner flow: inline fallback
             yield from self.inner.batches(graph, epoch)
             return
         pool = self._ensure_proc_pool(graph)
-        results = self._proc_pending.pop((id(graph), epoch), None)
-        if results is None or len(results) != len(plans):
+        if pool is None:  # pool refused to start; warned already
+            yield from self.inner.batches(graph, epoch)
+            return
+        submitted = self._proc_pending.pop((id(graph), epoch), None)
+        if submitted is None or submitted != len(plans):
             self._proc_pending = {}  # out-of-order request: drop lookahead
-            results = pool.submit_epoch(epoch, len(plans))
+            pool.submit_epoch(epoch, len(plans))
         # Lookahead: queue the next epoch while this one is consumed.
         self._submit_ahead(graph, epoch + 1)
-        for index, (plan, handle) in enumerate(zip(plans, results)):
-            failure = pool.failure_for(epoch)
-            if failure is not None:
-                slot, original = failure
-                raise PrefetchWorkerError(slot, epoch, original) \
-                    from original
+        for index, plan in enumerate(plans):
             try:
-                payload = handle.get()
-            except Exception as original:
-                raise PrefetchWorkerError(index, epoch, original) \
-                    from original
-            batch = graph_from_payload(payload)
+                batch = pool.result(epoch, index)
+            except WorkerSupervisionError as exc:
+                warnings.warn(
+                    f"prefetch process pool exhausted supervised recovery "
+                    f"({exc}); building the remaining batches in-process",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                self._proc_workers = 0
+                self._close_proc_pool()
+                for inline_plan in plans[index:]:
+                    built = inline_plan.build()
+                    warm = self.warm
+                    if warm is not None:
+                        warm(built)
+                    self.built += 1
+                    yield built
+                    inline_plan.retire(built)
+                return
             self.built += 1
             yield batch
             plan.retire(batch)

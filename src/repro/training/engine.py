@@ -35,10 +35,19 @@ from ..tensor import (
     no_grad,
     weighted_cross_entropy,
 )
+from .checkpoint import (
+    CheckpointError,
+    config_fingerprint,
+    read_checkpoint,
+    state_dict,
+    load_state_dict,
+    write_checkpoint,
+)
 from .dataflow import BatchPlan, DataFlow, FullGraphFlow
 from .metrics import accuracy, micro_f1, roc_auc
 from .parallel import (
     ReplicaProcessPool,
+    WorkerSupervisionError,
     pack_parameters,
     resolve_process_workers,
 )
@@ -341,6 +350,28 @@ class ReplicaGradients:
             else:
                 np.copyto(row, entry)
 
+    def load_residuals(self, rows: Sequence[Optional[np.ndarray]]) -> None:
+        """Adopt per-replica error-feedback residual rows.
+
+        Used when resuming from a full-state checkpoint and when degrading
+        from the process-per-replica pool (whose workers held the live
+        residuals): the adopted rows make the next sparse reduce continue
+        the exact trajectory. ``None`` rows (and rows beyond this store's
+        replica count) are skipped; a dense store ignores the call.
+        """
+        if self.topk is None:
+            return
+        for replica, row in enumerate(rows):
+            if row is None or replica >= self.replicas:
+                continue
+            row = np.asarray(row, dtype=np.float64).ravel()
+            if row.size != self._residual.shape[1]:
+                raise ValueError(
+                    f"residual row {replica} has {row.size} entries, "
+                    f"expected {self._residual.shape[1]}"
+                )
+            self._residual[replica, :] = row
+
     def payload_cbsr(self, replica: int) -> List[CBSRMatrix]:
         """The CBSR payloads ``replica`` would ship in the *next* reduce.
 
@@ -408,6 +439,15 @@ class Engine:
         self._replica_grads: Optional[ReplicaGradients] = None
         self._replica_pool = None  # ReplicaProcessPool, created lazily
         self._replica_pool_key: Optional[tuple] = None
+        #: Set after the pool exhausts supervised recovery: the engine
+        #: stays on the in-process path for the rest of its life instead
+        #: of re-provisioning (and re-crashing) a pool every epoch.
+        self._procs_disabled = False
+        #: Stashed by :meth:`load_checkpoint`, consumed by the next
+        #: replica-store / replica-pool construction so a resumed run
+        #: continues the exact error-feedback + dropout trajectory.
+        self._resume_residuals: Optional[List[Optional[np.ndarray]]] = None
+        self._resume_worker_states: Optional[List[Optional[dict]]] = None
         # A prefetching flow builds future batches on a background thread;
         # hand it the model-specific warm-up (adjacency + backend
         # registration) so that work leaves the training critical path too.
@@ -503,6 +543,9 @@ class Engine:
             store = ReplicaGradients(self.optimizer.parameters, replicas,
                                      topk=topk)
             self._replica_grads = store
+        if self._resume_residuals is not None:
+            store.load_residuals(self._resume_residuals)
+            self._resume_residuals = None
         return store
 
     def _train_epoch_rounds(
@@ -532,67 +575,98 @@ class Engine:
         store = self._replica_store(
             flow.replicas, getattr(flow, "grad_topk", None)
         )
+        telemetry = self._round_telemetry()
+        losses: List[float] = []
+        for round_index, round_plans in enumerate(rounds):
+            self._run_round_inproc(
+                store, round_plans, round_index, steps_per_batch,
+                result, losses, telemetry,
+            )
+        if not losses:
+            return float("nan")
+        return float(np.mean(losses))
+
+    def _round_telemetry(self) -> tuple:
+        """The flow's optional per-step hooks, resolved once per epoch."""
+        flow = self.flow
         note = getattr(flow, "note_replica_step", None)
         accepts_slot = (
             note is not None
             and "slot" in inspect.signature(note).parameters
         )
         note_exchange = getattr(flow, "note_gradient_exchange", None)
-        losses: List[float] = []
-        for round_index, round_plans in enumerate(rounds):
-            built: List[Tuple[int, BatchPlan, Graph]] = []
-            for replica, plan in enumerate(round_plans):
-                batch = plan.build()
-                mask = batch.train_mask
-                if mask is not None and not np.any(mask):
-                    plan.retire(batch)
-                    continue
-                built.append((replica, plan, batch))
-            if not built:
-                # Nothing trained this round, so nothing may step: clear
-                # any gradients left over from the previous round's reduce
-                # before skipping, or a later consumer could mistake them
-                # for this round's (stale-gradient hazard).
-                for p in store.parameters:
-                    p.grad = None
+        return note, accepts_slot, note_exchange
+
+    def _run_round_inproc(
+        self,
+        store: ReplicaGradients,
+        round_plans: List[BatchPlan],
+        round_index: int,
+        steps: int,
+        result: Optional[TrainResult],
+        losses: List[float],
+        telemetry: tuple,
+    ) -> None:
+        """Build and train one data-parallel round in this process.
+
+        The unit the process-pool path falls back to: after pool
+        degradation mid-epoch, the engine finishes the interrupted round
+        (with the steps that remain) and every later round through this
+        exact code, so both paths share one definition of a round.
+        """
+        flow = self.flow
+        note, accepts_slot, note_exchange = telemetry
+        built: List[Tuple[int, BatchPlan, Graph]] = []
+        for replica, plan in enumerate(round_plans):
+            batch = plan.build()
+            mask = batch.train_mask
+            if mask is not None and not np.any(mask):
+                plan.retire(batch)
                 continue
-            participants = [replica for replica, _, _ in built]
-            last_loss: Dict[int, float] = {}
-            for _ in range(steps_per_batch):
-                for replica, _, batch in built:
-                    start = time.perf_counter()
-                    self._bind(batch)
-                    self.optimizer.zero_grad()
-                    features = (
-                        self._features if batch is self.graph
-                        else np.asarray(batch.features, dtype=np.float64)
-                    )
-                    logits = self.model(features)
-                    loss = self._loss(logits, batch)
-                    loss.backward()
-                    store.capture(replica)
-                    last_loss[replica] = loss.item()
-                    if note is not None:
-                        elapsed = time.perf_counter() - start
-                        if accepts_slot:
-                            note(replica, elapsed, batch.n_edges,
-                                 slot=round_index * flow.replicas + replica)
-                        else:
-                            note(replica, elapsed, batch.n_edges)
-                store.reduce(participants)
-                if note_exchange is not None:
-                    note_exchange(store.dense_nbytes, store.payload_nbytes)
-                self.optimizer.step()
-            for replica, plan, batch in built:
-                value = last_loss[replica]
+            built.append((replica, plan, batch))
+        if not built:
+            # Nothing trained this round, so nothing may step: clear
+            # any gradients left over from the previous round's reduce
+            # before skipping, or a later consumer could mistake them
+            # for this round's (stale-gradient hazard).
+            for p in store.parameters:
+                p.grad = None
+            return
+        participants = [replica for replica, _, _ in built]
+        last_loss: Dict[int, float] = {}
+        for _ in range(steps):
+            for replica, _, batch in built:
+                start = time.perf_counter()
+                self._bind(batch)
+                self.optimizer.zero_grad()
+                features = (
+                    self._features if batch is self.graph
+                    else np.asarray(batch.features, dtype=np.float64)
+                )
+                logits = self.model(features)
+                loss = self._loss(logits, batch)
+                loss.backward()
+                store.capture(replica)
+                last_loss[replica] = loss.item()
+                if note is not None:
+                    elapsed = time.perf_counter() - start
+                    if accepts_slot:
+                        note(replica, elapsed, batch.n_edges,
+                             slot=round_index * flow.replicas + replica)
+                    else:
+                        note(replica, elapsed, batch.n_edges)
+            store.reduce(participants)
+            if note_exchange is not None:
+                note_exchange(store.dense_nbytes, store.payload_nbytes)
+            self.optimizer.step()
+        for replica, plan, batch in built:
+            value = last_loss.get(replica)
+            if value is not None:
                 losses.append(value)
                 if result is not None:
                     result.batch_losses.append(value)
                     result.batch_sizes.append(batch.n_nodes)
-                plan.retire(batch)
-        if not losses:
-            return float("nan")
-        return float(np.mean(losses))
+            plan.retire(batch)
 
     def _ensure_replica_pool(self):
         """Provision (or reuse) the process-per-replica pool, or ``None``.
@@ -603,6 +677,8 @@ class Engine:
         cached per ``(flow, replicas, topk, graph, backend)`` so the
         fallback warning fires once, not every epoch.
         """
+        if self._procs_disabled:
+            return None
         flow = self.flow
         key = (
             id(flow),
@@ -632,6 +708,8 @@ class Engine:
         )
         if workers == 0:
             return None
+        resume_states = self._resume_worker_states
+        self._resume_worker_states = None
         try:
             self._replica_pool = ReplicaProcessPool(
                 self.graph,
@@ -642,6 +720,7 @@ class Engine:
                 getattr(flow, "grad_topk", None),
                 self.fused_loss,
                 [int(p.data.size) for p in self.optimizer.parameters],
+                resume_states=resume_states,
             )
         except Exception as exc:
             warnings.warn(
@@ -689,59 +768,115 @@ class Engine:
         store = self._replica_store(
             flow.replicas, getattr(flow, "grad_topk", None)
         )
-        note = getattr(flow, "note_replica_step", None)
-        accepts_slot = (
-            note is not None
-            and "slot" in inspect.signature(note).parameters
-        )
-        note_exchange = getattr(flow, "note_gradient_exchange", None)
+        telemetry = self._round_telemetry()
+        note, accepts_slot, note_exchange = telemetry
         losses: List[float] = []
         flat: Optional[np.ndarray] = None
-        for round_index, round_plans in enumerate(rounds):
-            assignments = [
-                (replica, round_index * flow.replicas + replica)
-                for replica in range(len(round_plans))
-            ]
-            infos = pool.build(assignments, epoch)
-            participants = [
-                replica for replica, _ in assignments
-                if not infos[replica][0]
-            ]
-            if not participants:
-                # Same stale-gradient hazard as the in-process path: a
-                # fully-skipped round must not leave the previous round's
-                # reduced gradients on the parameters.
-                for p in store.parameters:
-                    p.grad = None
-                continue
-            last_loss: Dict[int, float] = {}
-            for _ in range(steps_per_batch):
-                flat = pack_parameters(self.optimizer.parameters, flat)
-                replies = pool.step(participants, flat)
+        current_round = 0
+        steps_done = 0
+        try:
+            for round_index, round_plans in enumerate(rounds):
+                current_round = round_index
+                steps_done = 0
+                assignments = [
+                    (replica, round_index * flow.replicas + replica)
+                    for replica in range(len(round_plans))
+                ]
+                infos = pool.build(assignments, epoch)
+                participants = [
+                    replica for replica, _ in assignments
+                    if not infos[replica][0]
+                ]
+                if not participants:
+                    # Same stale-gradient hazard as the in-process path: a
+                    # fully-skipped round must not leave the previous
+                    # round's reduced gradients on the parameters.
+                    for p in store.parameters:
+                        p.grad = None
+                    continue
+                last_loss: Dict[int, float] = {}
+                for _ in range(steps_per_batch):
+                    flat = pack_parameters(self.optimizer.parameters, flat)
+                    replies = pool.step(participants, flat)
+                    for replica in participants:
+                        payload, loss_value, seconds = replies[replica]
+                        store.deposit(replica, payload)
+                        last_loss[replica] = loss_value
+                        if note is not None:
+                            if accepts_slot:
+                                note(
+                                    replica, seconds, infos[replica][2],
+                                    slot=round_index * flow.replicas
+                                    + replica,
+                                )
+                            else:
+                                note(replica, seconds, infos[replica][2])
+                    store.reduce(participants, preselected=True)
+                    if note_exchange is not None:
+                        note_exchange(
+                            store.dense_nbytes, store.payload_nbytes
+                        )
+                    self.optimizer.step()
+                    steps_done += 1
+                pool.retire(participants)
                 for replica in participants:
-                    payload, loss_value, seconds = replies[replica]
-                    store.deposit(replica, payload)
-                    last_loss[replica] = loss_value
-                    if note is not None:
-                        if accepts_slot:
-                            note(replica, seconds, infos[replica][2],
-                                 slot=round_index * flow.replicas + replica)
-                        else:
-                            note(replica, seconds, infos[replica][2])
-                store.reduce(participants, preselected=True)
-                if note_exchange is not None:
-                    note_exchange(store.dense_nbytes, store.payload_nbytes)
-                self.optimizer.step()
-            pool.retire(participants)
-            for replica in participants:
-                value = last_loss[replica]
-                losses.append(value)
-                if result is not None:
-                    result.batch_losses.append(value)
-                    result.batch_sizes.append(infos[replica][1])
+                    value = last_loss[replica]
+                    losses.append(value)
+                    if result is not None:
+                        result.batch_losses.append(value)
+                        result.batch_sizes.append(infos[replica][1])
+        except WorkerSupervisionError as exc:
+            # Supervised recovery is exhausted. The pool's banked worker
+            # snapshots let the in-process path continue the *exact*
+            # trajectory: a failed build/step mutated nothing parent-side
+            # (deposits and the optimizer step only happen on validated
+            # replies), so the interrupted round resumes at the step it
+            # reached, then the rest of the epoch runs normally.
+            self._degrade_to_inproc(exc, store)
+            self._run_round_inproc(
+                store, rounds[current_round], current_round,
+                steps_per_batch - steps_done, result, losses, telemetry,
+            )
+            for later in range(current_round + 1, len(rounds)):
+                self._run_round_inproc(
+                    store, rounds[later], later, steps_per_batch,
+                    result, losses, telemetry,
+                )
         if not losses:
             return float("nan")
         return float(np.mean(losses))
+
+    def _degrade_to_inproc(self, exc: WorkerSupervisionError,
+                           store: ReplicaGradients) -> None:
+        """Adopt the dead pool's worker state and pin the in-process path.
+
+        The workers held the live error-feedback residuals (the parent
+        reduce was ``preselected``) and their own dropout streams; both
+        move into the parent so the continuation is bit-identical where
+        that is defined (always for the residuals; for the dropout stream
+        with one replica, whose worker stream *is* the parent stream's
+        continuation). Warned once — the engine never re-provisions a
+        pool after exhaustion.
+        """
+        pool = self._replica_pool
+        states = pool.worker_states() if pool is not None else []
+        warnings.warn(
+            f"replica process pool exhausted supervised recovery ({exc}); "
+            "continuing on the in-process path",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        self._procs_disabled = True
+        self._close_replica_pool()
+        if states:
+            store.load_residuals([
+                None if state is None else state.get("residual")
+                for state in states
+            ])
+            if self.flow.replicas == 1 and states[0] is not None:
+                bit_generator = np.random.PCG64()
+                bit_generator.state = states[0]["rng_state"]
+                self.model._dropout_rng = np.random.Generator(bit_generator)
 
     def train_epoch(
         self,
@@ -776,26 +911,182 @@ class Engine:
             return float("nan")
         return float(np.mean(losses))
 
+    # -- full-state checkpointing ---------------------------------------
+    def save_checkpoint(self, path, next_epoch: int = 0) -> None:
+        """Write the complete training state (atomic, CRC-guarded).
+
+        Beyond the parameters this captures the Adam flat-buffer moments
+        and step count, the dropout PCG64 stream (the live process-pool
+        workers' streams and error-feedback residual rows when a pool is
+        active — replica 0's stream is the parent stream's continuation),
+        the epoch cursor, and the model's config fingerprint. A run
+        resumed from the file continues bit-for-bit.
+        """
+        arrays = state_dict(self.model)
+        arrays["__adam_m__"] = self.optimizer._flat_m.copy()
+        arrays["__adam_v__"] = self.optimizer._flat_v.copy()
+        rng_state = self.model._dropout_rng.bit_generator.state
+        worker_rng: Optional[List[Optional[dict]]] = None
+        residual_rows = 0
+        pool = self._replica_pool
+        if pool is not None:
+            states = pool.worker_states()
+            worker_rng = [
+                None if state is None else state["rng_state"]
+                for state in states
+            ]
+            if states and states[0] is not None:
+                # Replica 0's stream is the parent stream's continuation;
+                # banking it keeps a pool-less (or R=1 in-process) resume
+                # on the identical dropout trajectory.
+                rng_state = states[0]["rng_state"]
+            for replica, state in enumerate(states):
+                residual = None if state is None else state.get("residual")
+                if residual is not None:
+                    arrays[f"__residual_{replica}__"] = np.asarray(residual)
+                    residual_rows = max(residual_rows, replica + 1)
+        else:
+            store = self._replica_grads
+            if store is not None and store.topk is not None:
+                for replica in range(store.replicas):
+                    arrays[f"__residual_{replica}__"] = (
+                        store._residual[replica].copy()
+                    )
+                residual_rows = store.replicas
+        meta = {
+            "kind": "training",
+            "epoch": int(next_epoch),
+            "round": 0,
+            "adam_t": int(self.optimizer._t),
+            "rng_state": rng_state,
+            "worker_rng": worker_rng,
+            "residual_rows": residual_rows,
+            "flow": self.flow.describe(),
+        }
+        config = getattr(self.model, "config", None)
+        if config is not None:
+            meta["fingerprint"] = config_fingerprint(config)
+        write_checkpoint(path, arrays, meta)
+
+    def load_checkpoint(self, path) -> int:
+        """Restore :meth:`save_checkpoint` state; returns the next epoch.
+
+        Refuses (with a clear :class:`CheckpointError`) a file written
+        for a different model configuration. Worker dropout streams and
+        error-feedback residuals are stashed and adopted by the next
+        replica store / process pool the engine provisions.
+        """
+        arrays, meta = read_checkpoint(path)
+        config = getattr(self.model, "config", None)
+        expected = meta.get("fingerprint")
+        if expected is not None and config is not None:
+            actual = config_fingerprint(config)
+            if actual != expected:
+                raise CheckpointError(
+                    f"{path} was written for a different model "
+                    f"configuration (fingerprint {expected}, this model "
+                    f"is {actual}); refusing to resume"
+                )
+        residual_rows = int(meta.get("residual_rows", 0))
+        residuals: List[Optional[np.ndarray]] = []
+        for replica in range(residual_rows):
+            residuals.append(arrays.pop(f"__residual_{replica}__", None))
+        adam_m = arrays.pop("__adam_m__", None)
+        adam_v = arrays.pop("__adam_v__", None)
+        load_state_dict(self.model, arrays)
+        if adam_m is not None and adam_v is not None:
+            if adam_m.shape != self.optimizer._flat_m.shape:
+                raise CheckpointError(
+                    f"{path} carries Adam moments for {adam_m.size} "
+                    f"parameters, this optimizer has "
+                    f"{self.optimizer._flat_m.size}"
+                )
+            # In-place copies keep the optimizer's per-parameter reshaped
+            # views (self._m / self._v) aliased to the flat arenas.
+            self.optimizer._flat_m[...] = adam_m
+            self.optimizer._flat_v[...] = adam_v
+        self.optimizer._t = int(meta.get("adam_t", 0))
+        rng_state = meta.get("rng_state")
+        if rng_state is not None:
+            bit_generator = np.random.PCG64()
+            bit_generator.state = rng_state
+            self.model._dropout_rng = np.random.Generator(bit_generator)
+        self._resume_residuals = residuals if residuals else None
+        worker_rng = meta.get("worker_rng")
+        if worker_rng:
+            states: List[Optional[dict]] = []
+            for replica, state in enumerate(worker_rng):
+                if state is None:
+                    states.append(None)
+                    continue
+                residual = (
+                    residuals[replica]
+                    if replica < len(residuals) else None
+                )
+                states.append({"rng_state": state, "residual": residual})
+            self._resume_worker_states = states
+            # A resumed pool must attach fresh to the *current* engine's
+            # graph/flow — drop any cached pool verdict.
+            self._close_replica_pool()
+        return int(meta.get("epoch", 0))
+
     def fit(
         self,
         epochs: int,
         eval_every: int = 10,
         steps_per_batch: int = 1,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir=None,
+        resume_from=None,
     ) -> TrainResult:
-        """Train for ``epochs``; record metrics every ``eval_every`` epochs."""
+        """Train for ``epochs``; record metrics every ``eval_every`` epochs.
+
+        ``checkpoint_every``/``checkpoint_dir`` write a full-state
+        checkpoint after every N-th epoch (and after the last);
+        ``resume_from`` restores one before training, continuing the
+        original run's epoch numbering (and trajectory) exactly.
+        """
         if epochs < 1:
             raise ValueError("epochs must be positive")
         if eval_every < 1:
             raise ValueError("eval_every must be positive")
         if steps_per_batch < 1:
             raise ValueError("steps_per_batch must be positive")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be positive")
+        start_epoch = 0
+        if resume_from is not None:
+            start_epoch = self.load_checkpoint(resume_from)
+        checkpoint_path = None
+        if checkpoint_dir is not None:
+            from pathlib import Path
+
+            directory = Path(checkpoint_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+
+            def checkpoint_path(epoch: int):
+                return directory / f"checkpoint-{epoch:05d}.ckpt"
+
         result = TrainResult(
             metric_name=self.metric, flow=self.flow.describe()
         )
-        for epoch in range(epochs):
+        for epoch in range(start_epoch, epochs):
             loss = self.train_epoch(epoch, steps_per_batch, result)
             result.train_losses.append(loss)
             is_last = epoch == epochs - 1
+            if checkpoint_path is not None:
+                due = (
+                    checkpoint_every is not None
+                    and (epoch + 1) % checkpoint_every == 0
+                )
+                if due or is_last:
+                    # Saved *before* evaluation so an early-stopping break
+                    # can never skip a due checkpoint; evaluation consumes
+                    # no randomness (dropout is off in eval mode), so the
+                    # captured state is the same either way.
+                    self.save_checkpoint(
+                        checkpoint_path(epoch + 1), next_epoch=epoch + 1
+                    )
             if epoch % eval_every == 0 or is_last:
                 scores = self.evaluate()
                 result.epochs_recorded.append(epoch)

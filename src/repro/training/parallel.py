@@ -4,12 +4,12 @@ Two executors live here, both spawn-started against a
 :class:`~repro.graphs.shm.SharedGraphStore` so workers read the full graph
 zero-copy instead of unpickling it:
 
-* :class:`ProcessPrefetchPool` — ``PrefetchFlow``'s multi-core builder: a
-  ``multiprocessing.Pool`` whose workers rebuild the flow's deterministic
-  ``BatchPlan`` schedule against the shared graph and ship compact
-  subgraph payloads back (batch content is a pure function of
+* :class:`ProcessPrefetchPool` — ``PrefetchFlow``'s multi-core builder:
+  dedicated pipe-connected worker processes rebuild the flow's
+  deterministic ``BatchPlan`` schedule against the shared graph and ship
+  compact subgraph payloads back (batch content is a pure function of
   ``(seed, slot)``, so worker-built batches are byte-identical to
-  thread-built or inline ones);
+  thread-built or inline ones — and any worker can rebuild any slot);
 * :class:`ReplicaProcessPool` — ``DistributedFlow``'s process-per-replica
   round executor: each worker holds a persistent model mirror plus its own
   single-row :class:`~repro.training.engine.ReplicaGradients` (so
@@ -18,11 +18,34 @@ zero-copy instead of unpickling it:
   returns its flat (or top-k compressed) gradient contribution for the
   parent's fixed-ascending-order all-reduce.
 
+Both pools are *supervised*: every reply is awaited with
+``multiprocessing.connection.wait`` over the worker's pipe **and** its
+process sentinel, so a SIGKILLed child is detected the moment it dies
+(exit code captured) and a hung one at a per-attempt deadline
+(:class:`SupervisorConfig`; exponential backoff across retries). Failed
+workers are respawned and the failed work is **deterministically
+replayed** — a prefetch slot is just rebuilt (pure function of its
+coordinates); a replica worker is resurrected from its last
+state snapshot (every gradient reply ships the worker's post-step PCG64
+state and error-feedback residual row), the active batch is rebuilt, and
+the failed op re-issued, so the post-recovery trajectory is bit-identical
+to a clean run. Deterministic *application* errors (a worker's own
+exception frame) are never retried — they raise immediately with the
+worker's traceback attached. After ``max_retries`` consecutive
+infrastructure failures the pool raises :class:`WorkerSupervisionError`
+and the caller degrades to the in-process path with one cached warning.
+
+Recovery paths are testable without timing games: the pools consult
+:func:`~repro.training.faults.current_fault_plan` and ship each scheduled
+fault action alongside the op it targets, so workers crash/hang/corrupt
+at exact deterministic schedule coordinates.
+
 :func:`resolve_process_workers` is the shared degradation gate: no usable
 shared memory, an unpicklable flow, or fewer CPU cores than requested all
-fall back to the in-process path with a single warning — never a crash.
-``REPRO_FORCE_PROCS=1`` overrides the core-count check so single-core CI
-can still exercise the real process path.
+fall back to the in-process path with a single cached warning per
+``(reason, label)`` — never a crash. ``REPRO_FORCE_PROCS=1`` overrides
+the core-count check so single-core CI can still exercise the real
+process path.
 """
 
 from __future__ import annotations
@@ -32,6 +55,8 @@ import pickle
 import time
 import traceback
 import warnings
+from collections import deque
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -44,15 +69,21 @@ from ..graphs.shm import (
 )
 from ..sparse import CSRMatrix
 from ..sparse.ops import get_backend, set_backend
+from .faults import current_fault_plan
 
 __all__ = [
     "available_cores",
     "processes_forced",
     "resolve_process_workers",
+    "reset_fallback_warnings",
     "graph_payload",
     "graph_from_payload",
     "pack_parameters",
     "unpack_parameters",
+    "SupervisorConfig",
+    "WorkerSupervisionError",
+    "ReplicaWorkerError",
+    "PrefetchWorkerError",
     "ProcessPrefetchPool",
     "ReplicaProcessPool",
 ]
@@ -60,6 +91,16 @@ __all__ = [
 #: Set to ``1`` to run process pools even when the host reports fewer CPU
 #: cores than requested workers (tests / single-core CI coverage).
 FORCE_ENV = "REPRO_FORCE_PROCS"
+
+#: Override the per-call worker reply deadline, in seconds.
+TIMEOUT_ENV = "REPRO_WORKER_TIMEOUT"
+
+#: Override how many consecutive infra failures trigger degradation.
+RETRIES_ENV = "REPRO_WORKER_RETRIES"
+
+#: How long an injected ``hang_worker`` fault sleeps — far past any sane
+#: supervision deadline, so the parent's timeout path is what ends it.
+_HANG_SECONDS = 3600.0
 
 
 def available_cores() -> int:
@@ -84,41 +125,198 @@ def _picklable(obj) -> bool:
         return False
 
 
+#: ``(reason, label)`` pairs that already warned; a long run degrading on
+#: every epoch emits one warning, not hundreds.
+_WARNED: set = set()
+
+
+def reset_fallback_warnings() -> None:
+    """Clear the once-per-(reason, label) warning cache (test hook)."""
+    _WARNED.clear()
+
+
+def _warn_once(reason: str, label: str, message: str) -> None:
+    key = (reason, label)
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
 def resolve_process_workers(requested: int, label: str = "workers",
                             payload=None) -> int:
     """How many worker processes to actually start (0 = stay in-process).
 
-    Degrades gracefully — one warning, never a crash — when the host has
-    no usable shared memory, ``payload`` (the flow/config a worker must
-    unpickle) does not pickle, or fewer cores than ``requested`` are
-    available (overridable via :data:`FORCE_ENV` for tests).
+    Degrades gracefully — one cached warning per ``(reason, label)``,
+    never a crash — when the host has no usable shared memory, ``payload``
+    (the flow/config a worker must unpickle) does not pickle, or fewer
+    cores than ``requested`` are available (overridable via
+    :data:`FORCE_ENV` for tests).
     """
     if requested < 1:
         return 0
     if not shared_memory_available():
-        warnings.warn(
+        _warn_once(
+            "no-shared-memory", label,
             f"shared memory unavailable; {label} falling back to the "
             "in-process path",
-            RuntimeWarning, stacklevel=2,
         )
         return 0
     if payload is not None and not _picklable(payload):
-        warnings.warn(
+        _warn_once(
+            "unpicklable-payload", label,
             f"{label} payload is not picklable for a spawn worker; "
             "falling back to the in-process path",
-            RuntimeWarning, stacklevel=2,
         )
         return 0
     cores = available_cores()
     if cores < requested and not processes_forced():
-        warnings.warn(
+        _warn_once(
+            "too-few-cores", label,
             f"{cores} CPU core(s) available but {requested} {label} "
             "requested; falling back to the in-process path "
             f"(set {FORCE_ENV}=1 to force process execution)",
-            RuntimeWarning, stacklevel=2,
         )
         return 0
     return requested
+
+
+# ----------------------------------------------------------------------
+# Supervision primitives shared by both pools.
+# ----------------------------------------------------------------------
+
+@dataclass
+class SupervisorConfig:
+    """How patiently a pool waits for workers, and when it gives up.
+
+    ``deadline(attempt)`` is the per-reply timeout for a given consecutive
+    retry count — exponential backoff, so a slow-but-healthy host that
+    trips the first deadline gets progressively more slack before the pool
+    concludes the worker class is hopeless and degrades in-process.
+    """
+
+    timeout: float = 120.0
+    max_retries: int = 2
+    backoff: float = 2.0
+
+    @classmethod
+    def from_env(cls) -> "SupervisorConfig":
+        config = cls()
+        raw = os.environ.get(TIMEOUT_ENV, "").strip()
+        if raw:
+            try:
+                config.timeout = max(float(raw), 0.05)
+            except ValueError:
+                pass
+        raw = os.environ.get(RETRIES_ENV, "").strip()
+        if raw:
+            try:
+                config.max_retries = max(int(raw), 0)
+            except ValueError:
+                pass
+        return config
+
+    def deadline(self, attempt: int = 0) -> float:
+        return self.timeout * self.backoff ** min(max(attempt, 0), 8)
+
+
+class WorkerSupervisionError(RuntimeError):
+    """Supervised recovery is exhausted; the caller should degrade.
+
+    Raised only after ``max_retries`` consecutive respawn-and-replay
+    attempts (or an unrecoverable respawn) — deterministic application
+    errors raise their own typed errors immediately instead.
+    """
+
+
+class ReplicaWorkerError(RuntimeError):
+    """A replica worker failed on its own code (deterministic — no retry).
+
+    Carries the worker's last traceback and, when the child already died,
+    its exit code, so the cause is never reduced to a bare ``EOFError``.
+    """
+
+    def __init__(self, replica: int, summary: str,
+                 worker_traceback: str = "",
+                 exitcode: Optional[int] = None):
+        message = f"replica worker {replica} failed: {summary}"
+        if exitcode is not None:
+            message += f" (worker exit code {exitcode})"
+        if worker_traceback:
+            message += f"\n{worker_traceback}"
+        super().__init__(message)
+        self.replica = replica
+        self.summary = summary
+        self.worker_traceback = worker_traceback
+        self.exitcode = exitcode
+        self.deterministic = True
+
+
+def _await_frame(conn, proc, timeout: float):
+    """Wait for one frame from ``conn``, watching ``proc``'s sentinel.
+
+    Returns ``("ok", frame)``, ``("dead", exitcode)`` when the child died
+    without flushing a frame, or ``("hung", None)`` when the deadline
+    passed with the child still alive.
+    """
+    from multiprocessing.connection import wait as _wait
+
+    ready = _wait([conn, proc.sentinel], timeout=max(timeout, 0.0))
+    if not ready:
+        return "hung", None
+    if conn in ready:
+        try:
+            return "ok", conn.recv()
+        except (EOFError, OSError):
+            proc.join(timeout=1.0)
+            return "dead", proc.exitcode
+    # Sentinel only: the child died. Its last frame may still be in the
+    # pipe buffer (workers write an error frame before exiting where they
+    # can) — drain it before declaring the cause lost.
+    if conn.poll(0.25):
+        try:
+            return "ok", conn.recv()
+        except (EOFError, OSError):
+            pass
+    proc.join(timeout=1.0)
+    return "dead", proc.exitcode
+
+
+def _consume_events(events: List, a: int, b: int) -> List[str]:
+    """Fault actions scheduled at ``(a, b)``; drop the one-shot ones.
+
+    Non-wildcard events are consumed the moment they are shipped (they
+    *will* fire — matching is deterministic), so a respawned worker
+    replaying the same coordinates cannot re-trigger the fault that killed
+    its predecessor. Wildcard events persist by design: they keep firing
+    until the caller's retry budget is exhausted.
+    """
+    actions = []
+    for event in list(events):
+        if event.matches(a, b):
+            actions.append(event.action)
+            if not event.persistent:
+                events.remove(event)
+    return actions
+
+
+def _apply_faults(conn, actions: Sequence[str]) -> bool:
+    """Worker-side injection point. Returns whether to corrupt the reply."""
+    corrupt = False
+    for action in actions:
+        if action == "kill_worker":
+            os._exit(3)
+        elif action == "hang_worker":
+            time.sleep(_HANG_SECONDS)
+            os._exit(3)
+        elif action == "drop_pipe":
+            try:
+                conn.close()
+            finally:
+                os._exit(0)
+        elif action == "corrupt_payload":
+            corrupt = True
+    return corrupt
 
 
 # ----------------------------------------------------------------------
@@ -199,32 +397,6 @@ def unpack_parameters(parameters, flat: np.ndarray) -> None:
 # Prefetch builder pool (PrefetchFlow's multi-core path).
 # ----------------------------------------------------------------------
 
-_PREFETCH_STATE: Optional[tuple] = None
-
-
-def _prefetch_init(backend_name: str, handle: SharedGraphHandle,
-                   flow_bytes: bytes, warm_norms: Tuple[str, ...]) -> None:
-    """Spawn bootstrap: backend, shared graph, and this worker's flow."""
-    global _PREFETCH_STATE
-    set_backend(backend_name)
-    store = SharedGraphStore.attach(handle)
-    flow = pickle.loads(flow_bytes)
-    _PREFETCH_STATE = (flow, store.graph(), warm_norms, store)
-
-
-def _prefetch_build(epoch: int, index: int) -> dict:
-    """Build plan ``index`` of ``epoch`` against the shared graph."""
-    flow, graph, warm_norms, _ = _PREFETCH_STATE
-    plans = flow.plan(graph, epoch)
-    batch = plans[index].build()
-    payload = graph_payload(batch, warm_norms)
-    # Worker-side cleanup mirrors the consumer contract: one-shot batches
-    # release their backend wrappers here (the worker's own backend —
-    # bounded by its LRU either way, but tidy beats bounded).
-    plans[index].retire(batch)
-    return payload
-
-
 class PrefetchWorkerError(RuntimeError):
     """A prefetch builder failed; names the originating schedule slot."""
 
@@ -240,67 +412,345 @@ class PrefetchWorkerError(RuntimeError):
         self.original = original
 
 
+def _prefetch_worker(conn, spec: dict) -> None:
+    """One builder: attach the shared graph, serve build requests forever.
+
+    Replies: ``("built", epoch, index, payload)`` on success,
+    ``("error", epoch, index, summary, traceback)`` on a deterministic
+    build exception (the loop keeps serving — the error is the slot's, not
+    the worker's).
+    """
+    store = None
+    try:
+        set_backend(spec["backend"])
+        store = SharedGraphStore.attach(spec["handle"])
+        graph = store.graph()
+        flow = pickle.loads(spec["flow"])
+        warm_norms = spec["warm_norms"]
+        conn.send(("ready",))
+        while True:
+            message = conn.recv()
+            if message[0] == "stop":
+                break
+            _, epoch, index, actions = message
+            corrupt = _apply_faults(conn, actions)
+            try:
+                plans = flow.plan(graph, epoch)
+                batch = plans[index].build()
+                payload = graph_payload(batch, warm_norms)
+                # Worker-side cleanup mirrors the consumer contract:
+                # one-shot batches release their backend wrappers here.
+                plans[index].retire(batch)
+            except BaseException as exc:
+                conn.send((
+                    "error", epoch, index, repr(exc), traceback.format_exc()
+                ))
+                continue
+            if corrupt:
+                payload = {"n_nodes": payload["n_nodes"]}
+            conn.send(("built", epoch, index, payload))
+    except (EOFError, KeyboardInterrupt, BrokenPipeError, OSError):
+        pass
+    finally:
+        if store is not None:
+            store.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
 class ProcessPrefetchPool:
-    """A spawn pool building one flow's ``BatchPlan`` schedule off-process."""
+    """Supervised spawn workers building a flow's ``BatchPlan`` schedule.
+
+    One dedicated pipe-connected process per worker (a ``mp.Pool`` cannot
+    promptly surface a SIGKILLed child — the lost task only shows up as a
+    result timeout; a sentinel-watched ``Process`` reports it instantly).
+    Slots are dispatched one-at-a-time per worker; because a batch is a
+    pure function of ``(seed, slot)``, a failed slot can be replayed on
+    any respawned worker with a bit-identical result.
+    """
 
     def __init__(self, inner_flow, graph: Graph, workers: int,
-                 warm_norms: Sequence[str] = ()):
+                 warm_norms: Sequence[str] = (),
+                 supervisor: Optional[SupervisorConfig] = None):
         import multiprocessing as mp
 
         self.workers = workers
         self.graph = graph
+        self.supervisor = supervisor or SupervisorConfig.from_env()
+        plan = current_fault_plan()
+        self._events = list(plan.events_for("prefetch")) if plan else []
+        self._ctx = mp.get_context("spawn")
         self._store = SharedGraphStore.export(graph)
+        self._spec = {
+            "backend": get_backend().name,
+            "handle": self._store.handle(),
+            "flow": pickle.dumps(inner_flow),
+            "warm_norms": tuple(warm_norms),
+        }
+        self._conns: List = [None] * workers
+        self._procs: List = [None] * workers
+        self._inflight: Dict[int, Tuple[int, int]] = {}  # worker -> task
+        self._deadlines: Dict[int, float] = {}
+        self._queue: deque = deque()
+        self._results: Dict[Tuple[int, int], Graph] = {}
         self._failures: Dict[Tuple[int, int], BaseException] = {}
-        try:
-            ctx = mp.get_context("spawn")
-            self._pool = ctx.Pool(
-                processes=workers,
-                initializer=_prefetch_init,
-                initargs=(
-                    get_backend().name, self._store.handle(),
-                    pickle.dumps(inner_flow), tuple(warm_norms),
-                ),
-            )
-        except BaseException:
-            self._store.close()
-            self._store.unlink()
-            raise
+        self._retries: Dict[Tuple[int, int], int] = {}
         self._closed = False
+        try:
+            for worker in range(workers):
+                self._spawn(worker)
+        except BaseException:
+            self.close()
+            raise
 
-    def submit_epoch(self, epoch: int, n_plans: int) -> list:
-        """Queue every plan of ``epoch``; returns its ``AsyncResult``s."""
-        results = []
+    # -- lifecycle -----------------------------------------------------
+    def _spawn(self, worker: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_prefetch_worker, args=(child_conn, self._spec),
+            name=f"repro-prefetch-{worker}", daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._conns[worker] = parent_conn
+        self._procs[worker] = proc
+        status, frame = _await_frame(
+            parent_conn, proc, self.supervisor.deadline(0)
+        )
+        if status != "ok" or not (isinstance(frame, tuple)
+                                  and frame and frame[0] == "ready"):
+            detail = (
+                f"exit code {frame}" if status == "dead"
+                else "no ready handshake" if status == "hung"
+                else f"unexpected handshake {frame!r}"
+            )
+            self._kill(worker)
+            raise RuntimeError(
+                f"prefetch worker {worker} failed to start ({detail})"
+            )
+
+    def _kill(self, worker: int) -> None:
+        proc = self._procs[worker]
+        conn = self._conns[worker]
+        if proc is not None:
+            if proc.is_alive():
+                proc.kill()
+            proc.join(timeout=5.0)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._procs[worker] = None
+        self._conns[worker] = None
+
+    def close(self) -> None:
+        """Stop/kill the workers and free the shared segments (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            if conn is None:
+                continue
+            try:
+                conn.send(("stop",))
+            except Exception:
+                pass
+        for proc in self._procs:
+            if proc is None:
+                continue
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5.0)
+        for conn in self._conns:
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        self._conns = []
+        self._procs = []
+        self._store.close()
+        self._store.unlink()
+
+    # -- dispatch ------------------------------------------------------
+    def submit_epoch(self, epoch: int, n_plans: int) -> None:
+        """Queue every plan of ``epoch``; workers start building at once."""
         for index in range(n_plans):
-            results.append(self._pool.apply_async(
-                _prefetch_build, (epoch, index),
-                error_callback=self._on_error(epoch, index),
-            ))
-        return results
+            self._queue.append((epoch, index))
+        self._dispatch()
 
-    def _on_error(self, epoch: int, index: int):
-        def record(exc: BaseException) -> None:
-            key = (epoch, index)
-            if key not in self._failures:
-                self._failures[key] = exc
-        return record
+    def _dispatch(self) -> None:
+        for worker in range(self.workers):
+            if not self._queue:
+                return
+            if worker not in self._inflight and \
+                    self._procs[worker] is not None:
+                self._send(worker, self._queue.popleft())
+
+    def _send(self, worker: int, task: Tuple[int, int]) -> None:
+        epoch, index = task
+        actions = _consume_events(self._events, epoch, index)
+        try:
+            self._conns[worker].send(("build", epoch, index, actions))
+        except (OSError, BrokenPipeError, ValueError):
+            pass  # the sentinel wait will classify the dead worker
+        self._inflight[worker] = task
+        attempt = self._retries.get(task, 0)
+        self._deadlines[worker] = (
+            time.monotonic() + self.supervisor.deadline(attempt)
+        )
+
+    # -- supervision ---------------------------------------------------
+    def result(self, epoch: int, index: int) -> Graph:
+        """The built (and validated) batch for one submitted plan slot.
+
+        Blocks until the slot is built, replaying it through respawned
+        workers on infrastructure failures. Raises
+        :class:`PrefetchWorkerError` for a deterministic builder exception
+        and :class:`WorkerSupervisionError` once retries are exhausted.
+        """
+        key = (epoch, index)
+        while True:
+            if key in self._failures:
+                raise PrefetchWorkerError(
+                    index, epoch, self._failures.pop(key)
+                )
+            if key in self._results:
+                return self._results.pop(key)
+            if key not in self._inflight.values() and key not in self._queue:
+                raise RuntimeError(
+                    f"plan slot {index} of epoch {epoch} was never submitted"
+                )
+            self._pump()
 
     def failure_for(self, epoch: int) -> Optional[Tuple[int, BaseException]]:
-        """Earliest recorded builder failure of ``epoch``, if any."""
+        """Earliest recorded deterministic builder failure of ``epoch``."""
         slots = [slot for (e, slot) in self._failures if e == epoch]
         if not slots:
             return None
         slot = min(slots)
         return slot, self._failures[(epoch, slot)]
 
-    def close(self) -> None:
-        """Terminate the workers and free the shared segments (idempotent)."""
-        if self._closed:
+    def _pump(self) -> None:
+        from multiprocessing.connection import wait as _wait
+
+        self._dispatch()
+        if not self._inflight:
             return
-        self._closed = True
-        self._pool.terminate()
-        self._pool.join()
-        self._store.close()
-        self._store.unlink()
+        now = time.monotonic()
+        timeout = max(
+            0.0, min(self._deadlines[w] for w in self._inflight) - now
+        )
+        sources: Dict[object, int] = {}
+        for worker in self._inflight:
+            sources[self._conns[worker]] = worker
+            sources[self._procs[worker].sentinel] = worker
+        ready = _wait(list(sources), timeout=timeout)
+        handled = set()
+        for obj in ready:
+            worker = sources[obj]
+            if worker in handled or worker not in self._inflight:
+                continue
+            handled.add(worker)
+            self._service(worker)
+        if not ready:
+            now = time.monotonic()
+            for worker in [w for w in self._inflight
+                           if self._deadlines[w] <= now]:
+                self._worker_failed(
+                    worker,
+                    "no reply within the "
+                    f"{self.supervisor.deadline(0):.1f}s deadline "
+                    "(hung worker killed)",
+                )
+        self._dispatch()
+
+    def _service(self, worker: int) -> None:
+        conn = self._conns[worker]
+        proc = self._procs[worker]
+        if not conn.poll(0):
+            # Sentinel fired with an empty pipe: drain a final flushed
+            # frame if one lands, else record the death with its code.
+            if not conn.poll(0.25):
+                proc.join(timeout=1.0)
+                self._worker_failed(
+                    worker, f"worker died (exit code {proc.exitcode})"
+                )
+                return
+        try:
+            frame = conn.recv()
+        except (EOFError, OSError):
+            proc.join(timeout=1.0)
+            self._worker_failed(
+                worker, f"worker died (exit code {proc.exitcode})"
+            )
+            return
+        self._handle_frame(worker, frame)
+
+    def _handle_frame(self, worker: int, frame) -> None:
+        task = self._inflight.get(worker)
+        try:
+            kind = frame[0]
+            if kind == "built":
+                _, epoch, index, payload = frame
+            elif kind == "error":
+                _, epoch, index, summary, worker_tb = frame
+            else:
+                raise ValueError(f"unexpected frame kind {kind!r}")
+        except (ValueError, TypeError, IndexError):
+            self._worker_failed(worker, f"malformed reply frame {frame!r}")
+            return
+        if task != (epoch, index):
+            self._worker_failed(
+                worker, f"reply for {(epoch, index)} while {task} in flight"
+            )
+            return
+        if kind == "error":
+            self._inflight.pop(worker)
+            self._deadlines.pop(worker, None)
+            self._retries.pop(task, None)
+            self._failures.setdefault(
+                task, RuntimeError(f"{summary}\n{worker_tb}")
+            )
+            return
+        try:
+            batch = graph_from_payload(payload)
+        except Exception as exc:
+            self._worker_failed(
+                worker, f"corrupt batch payload ({exc!r})"
+            )
+            return
+        self._inflight.pop(worker)
+        self._deadlines.pop(worker, None)
+        self._retries.pop(task, None)
+        self._results[task] = batch
+
+    def _worker_failed(self, worker: int, cause: str) -> None:
+        task = self._inflight.pop(worker, None)
+        self._deadlines.pop(worker, None)
+        self._kill(worker)
+        if task is not None:
+            count = self._retries.get(task, 0) + 1
+            self._retries[task] = count
+            if count > self.supervisor.max_retries:
+                raise WorkerSupervisionError(
+                    f"prefetch build of plan slot {task[1]} (epoch "
+                    f"{task[0]}) failed {count} consecutive times; last "
+                    f"cause: {cause}"
+                )
+        try:
+            self._spawn(worker)
+        except Exception as exc:
+            raise WorkerSupervisionError(
+                f"prefetch worker {worker} could not be respawned after "
+                f"a failure ({cause}): {exc!r}"
+            ) from exc
+        if task is not None:
+            self._queue.appendleft(task)
 
 
 # ----------------------------------------------------------------------
@@ -312,17 +762,25 @@ def _replica_worker(conn, spec: dict) -> None:
 
     Protocol (parent → worker → parent):
 
-    * ``("build", epoch, plan_index)`` → ``("built", skip, n_nodes,
-      n_edges)`` — rebuild the deterministic plan against the shared
-      graph; ``skip`` marks an all-unlabelled batch (retired on the spot).
-    * ``("step", flat_params)`` → ``("grad", payload, loss, seconds)`` —
-      overwrite the mirror's parameters, run forward/backward on the
-      current batch, pass the gradients through the worker's own
-      single-row :class:`ReplicaGradients` (identity for dense; top-k
-      selection + error-feedback residual update for ``grad_topk``), and
-      ship the per-parameter payload.
-    * ``("retire",)`` — consumer-side cleanup once the round finished.
-    * ``("stop",)`` — exit the loop.
+    * ``("build", epoch, plan_index, actions)`` → ``("built", skip,
+      n_nodes, n_edges)`` — rebuild the deterministic plan against the
+      shared graph; ``skip`` marks an all-unlabelled batch (retired on
+      the spot).
+    * ``("step", flat_params, actions)`` → ``("grad", payload, loss,
+      seconds, state)`` — overwrite the mirror's parameters, run
+      forward/backward on the current batch, pass the gradients through
+      the worker's own single-row :class:`ReplicaGradients` (identity for
+      dense; top-k selection + error-feedback residual update for
+      ``grad_topk``), and ship the per-parameter payload. ``state`` is
+      the worker's *post-step* snapshot (dropout PCG64 state + residual
+      row): the parent banks it so a respawn resumes exactly here.
+    * ``("retire", )`` — consumer-side cleanup once the round finished.
+    * ``("stop", )`` — exit the loop.
+
+    ``spec["resume_state"]`` (a banked snapshot) restores a respawned
+    worker verbatim — no re-jump; replica 0 of a fresh pool keeps the
+    parent's stream so R=1 stays bit-identical; replica ``r`` jumps the
+    construction-time state by ``r``.
     """
     store = None
     try:
@@ -339,16 +797,36 @@ def _replica_worker(conn, spec: dict) -> None:
         # architecture (and hence the span layout) must match.
         model = MaxKGNN(graph, spec["config"], seed=0)
         bit_generator = np.random.PCG64()
-        bit_generator.state = spec["rng_state"]
-        if spec["replica"]:
-            # Independent deterministic stream per replica; replica 0
-            # keeps the parent's stream verbatim so R=1 is bit-identical.
-            bit_generator = bit_generator.jumped(spec["replica"])
+        resume = spec.get("resume_state")
+        if resume is not None:
+            bit_generator.state = resume["rng_state"]
+        else:
+            bit_generator.state = spec["rng_state"]
+            if spec["replica"]:
+                # Independent deterministic stream per replica; replica 0
+                # keeps the parent's stream verbatim so R=1 is
+                # bit-identical.
+                bit_generator = bit_generator.jumped(spec["replica"])
         model._dropout_rng = np.random.Generator(bit_generator)
         parameters = list(model.parameters())
         grads = ReplicaGradients(parameters, 1, topk=spec["grad_topk"])
+        if resume is not None and resume.get("residual") is not None:
+            grads.load_residuals([np.asarray(resume["residual"])])
         fused_loss = spec["fused_loss"]
-        conn.send(("ready", [int(p.data.size) for p in parameters]))
+
+        def snapshot() -> dict:
+            state = {
+                "rng_state": model._dropout_rng.bit_generator.state,
+                "residual": None,
+            }
+            residual = getattr(grads, "_residual", None)
+            if residual is not None:
+                state["residual"] = residual[0].copy()
+            return state
+
+        conn.send((
+            "ready", [int(p.data.size) for p in parameters], snapshot()
+        ))
 
         plan = None
         batch = None
@@ -359,12 +837,15 @@ def _replica_worker(conn, spec: dict) -> None:
             if kind == "stop":
                 break
             if kind == "build":
-                _, epoch, plan_index = message
+                _, epoch, plan_index, actions = message
+                corrupt = _apply_faults(conn, actions)
                 plan = flow.plan(graph, epoch)[plan_index]
                 batch = plan.build()
                 mask = batch.train_mask
                 skip = mask is not None and not np.any(mask)
                 reply = ("built", skip, batch.n_nodes, batch.n_edges)
+                if corrupt:
+                    reply = ("built",)
                 if skip:
                     plan.retire(batch)
                     plan = None
@@ -375,8 +856,10 @@ def _replica_worker(conn, spec: dict) -> None:
                     model.bind_graph(batch)
                 conn.send(reply)
             elif kind == "step":
+                _, flat_params, actions = message
+                corrupt = _apply_faults(conn, actions)
                 start = time.perf_counter()
-                unpack_parameters(parameters, message[1])
+                unpack_parameters(parameters, flat_params)
                 for p in parameters:
                     p.zero_grad()
                 logits = model(features)
@@ -389,8 +872,12 @@ def _replica_worker(conn, spec: dict) -> None:
                 # in-process store's per-replica arithmetic.
                 grads.reduce([0])
                 payload = grads.export_payload()
+                if corrupt:
+                    payload = "corrupted-payload"
                 seconds = time.perf_counter() - start
-                conn.send(("grad", payload, float(loss.item()), seconds))
+                conn.send((
+                    "grad", payload, float(loss.item()), seconds, snapshot()
+                ))
             elif kind == "retire":
                 if plan is not None and batch is not None:
                     plan.retire(batch)
@@ -407,98 +894,129 @@ def _replica_worker(conn, spec: dict) -> None:
     finally:
         if store is not None:
             store.close()
-        conn.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
 
 
 class ReplicaProcessPool:
-    """One persistent spawn process per :class:`DistributedFlow` replica."""
+    """One persistent, supervised spawn process per replica.
+
+    Every gradient reply banks the worker's post-step state snapshot, so
+    an infrastructure failure (killed, hung, torn pipe, corrupt payload)
+    is survived by respawning the worker *from that snapshot*, replaying
+    its active batch build, and re-issuing the failed op — the recovered
+    trajectory is bit-identical to a clean run. Deterministic worker
+    exceptions raise :class:`ReplicaWorkerError` immediately (retrying
+    deterministic code re-raises deterministically); exhausted retries
+    raise :class:`WorkerSupervisionError` so the engine can degrade
+    in-process, seeded from :meth:`worker_states`.
+    """
 
     def __init__(self, graph: Graph, inner_flow, config, rng_state,
                  replicas: int, grad_topk: Optional[int],
-                 fused_loss: bool, param_sizes: Sequence[int]):
+                 fused_loss: bool, param_sizes: Sequence[int],
+                 supervisor: Optional[SupervisorConfig] = None,
+                 resume_states: Optional[Sequence[Optional[dict]]] = None):
         import multiprocessing as mp
 
         self.replicas = replicas
+        self.supervisor = supervisor or SupervisorConfig.from_env()
+        plan = current_fault_plan()
+        self._events = list(plan.events_for("replica")) if plan else []
         self._store = SharedGraphStore.export(graph)
         self._closed = False
-        self._conns: list = []
-        self._procs: list = []
-        ctx = mp.get_context("spawn")
-        flow_bytes = pickle.dumps(inner_flow)
+        self._ctx = mp.get_context("spawn")
+        self._flow_bytes = pickle.dumps(inner_flow)
+        self._config = config
+        self._rng_state = rng_state
+        self._grad_topk = grad_topk
+        self._fused_loss = fused_loss
+        self._param_sizes = [int(size) for size in param_sizes]
+        self._conns: List = [None] * replicas
+        self._procs: List = [None] * replicas
+        self._states: List[Optional[dict]] = [None] * replicas
+        if resume_states:
+            for replica, state in enumerate(resume_states):
+                if replica < replicas and state is not None:
+                    self._states[replica] = state
+        self._active_build: List[Optional[Tuple[int, int, int]]] = (
+            [None] * replicas
+        )
+        self._last_op: List[Optional[Tuple[tuple, int]]] = [None] * replicas
+        self._retries = [0] * replicas
+        self._ops = [0] * replicas
         try:
             for replica in range(replicas):
-                parent_conn, child_conn = ctx.Pipe()
-                spec = {
-                    "backend": get_backend().name,
-                    "handle": self._store.handle(),
-                    "flow": flow_bytes,
-                    "config": config,
-                    "rng_state": rng_state,
-                    "replica": replica,
-                    "grad_topk": grad_topk,
-                    "fused_loss": fused_loss,
-                }
-                proc = ctx.Process(
-                    target=_replica_worker, args=(child_conn, spec),
-                    name=f"repro-replica-{replica}", daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                self._conns.append(parent_conn)
-                self._procs.append(proc)
-            for replica in range(replicas):
-                kind, sizes = self._recv(replica)
-                if kind != "ready" or list(sizes) != list(param_sizes):
-                    raise RuntimeError(
-                        f"replica worker {replica} mirror layout mismatch: "
-                        f"{sizes} != {list(param_sizes)}"
-                    )
+                self._spawn(replica)
         except BaseException:
             self.close()
             raise
 
-    def _recv(self, replica: int):
-        try:
-            message = self._conns[replica].recv()
-        except EOFError:
-            raise RuntimeError(
-                f"replica worker {replica} exited unexpectedly"
-            ) from None
-        if message[0] == "error":
-            raise RuntimeError(
-                f"replica worker {replica} failed: {message[1]}\n"
-                f"{message[2]}"
+    # -- lifecycle -----------------------------------------------------
+    def _spawn(self, replica: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        spec = {
+            "backend": get_backend().name,
+            "handle": self._store.handle(),
+            "flow": self._flow_bytes,
+            "config": self._config,
+            "rng_state": self._rng_state,
+            "replica": replica,
+            "grad_topk": self._grad_topk,
+            "fused_loss": self._fused_loss,
+            "resume_state": self._states[replica],
+        }
+        proc = self._ctx.Process(
+            target=_replica_worker, args=(child_conn, spec),
+            name=f"repro-replica-{replica}", daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._conns[replica] = parent_conn
+        self._procs[replica] = proc
+        status, frame = _await_frame(
+            parent_conn, proc, self.supervisor.deadline(0)
+        )
+        if status != "ok":
+            detail = (
+                f"exited with code {frame}" if status == "dead"
+                else "no ready handshake before the deadline"
             )
-        return message
+            self._kill(replica)
+            raise RuntimeError(
+                f"replica worker {replica} failed to start ({detail})"
+            )
+        if isinstance(frame, tuple) and frame and frame[0] == "error":
+            self._kill(replica)
+            raise ReplicaWorkerError(
+                replica, frame[1], worker_traceback=frame[2]
+            )
+        if not (isinstance(frame, tuple) and len(frame) == 3
+                and frame[0] == "ready"
+                and list(frame[1]) == self._param_sizes):
+            self._kill(replica)
+            raise RuntimeError(
+                f"replica worker {replica} mirror layout mismatch: "
+                f"{frame!r} != {self._param_sizes}"
+            )
+        self._states[replica] = frame[2]
 
-    def build(self, assignments: Sequence[Tuple[int, int]], epoch: int
-              ) -> Dict[int, Tuple[bool, int, int]]:
-        """Build one round: ``(replica, plan_index)`` pairs, in parallel."""
-        for replica, plan_index in assignments:
-            self._conns[replica].send(("build", epoch, plan_index))
-        infos = {}
-        for replica, _ in assignments:
-            _, skip, n_nodes, n_edges = self._recv(replica)
-            infos[replica] = (bool(skip), int(n_nodes), int(n_edges))
-        return infos
-
-    def step(self, participants: Sequence[int], flat_params: np.ndarray
-             ) -> Dict[int, Tuple[list, float, float]]:
-        """One synchronous gradient step across the participants."""
-        for replica in participants:
-            self._conns[replica].send(("step", flat_params))
-        replies = {}
-        for replica in participants:
-            _, payload, loss, seconds = self._recv(replica)
-            replies[replica] = (payload, loss, seconds)
-        return replies
-
-    def retire(self, participants: Sequence[int]) -> None:
-        for replica in participants:
+    def _kill(self, replica: int) -> None:
+        proc = self._procs[replica]
+        conn = self._conns[replica]
+        if proc is not None:
+            if proc.is_alive():
+                proc.kill()
+            proc.join(timeout=5.0)
+        if conn is not None:
             try:
-                self._conns[replica].send(("retire",))
-            except (OSError, BrokenPipeError):
+                conn.close()
+            except OSError:
                 pass
+        self._procs[replica] = None
+        self._conns[replica] = None
 
     def close(self) -> None:
         """Stop the workers, join them, free the shared segments."""
@@ -506,21 +1024,200 @@ class ReplicaProcessPool:
             return
         self._closed = True
         for conn in self._conns:
+            if conn is None:
+                continue
             try:
                 conn.send(("stop",))
-            except (OSError, BrokenPipeError):
+            except Exception:
                 pass
         for proc in self._procs:
-            proc.join(timeout=5.0)
+            if proc is None:
+                continue
+            proc.join(timeout=2.0)
             if proc.is_alive():
-                proc.terminate()
+                proc.kill()
                 proc.join(timeout=5.0)
         for conn in self._conns:
-            try:
-                conn.close()
-            except OSError:
-                pass
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
         self._conns = []
         self._procs = []
         self._store.close()
         self._store.unlink()
+
+    # -- supervised op transport ----------------------------------------
+    def _send(self, replica: int, op: tuple, number: int) -> None:
+        actions = _consume_events(self._events, replica, number)
+        try:
+            self._conns[replica].send(op + (actions,))
+        except (OSError, BrokenPipeError, ValueError):
+            pass  # the sentinel wait will classify the dead worker
+        self._last_op[replica] = (op, number)
+
+    def _send_fresh(self, replica: int, op: tuple) -> None:
+        self._ops[replica] += 1
+        number = self._ops[replica]
+        if op[0] == "build":
+            self._active_build[replica] = (op[1], op[2], number)
+        self._send(replica, op, number)
+
+    def _await(self, replica: int, expect: str) -> tuple:
+        """One supervised reply of kind ``expect`` for the outstanding op."""
+        while True:
+            attempt = self._retries[replica]
+            status, frame = _await_frame(
+                self._conns[replica], self._procs[replica],
+                self.supervisor.deadline(attempt),
+            )
+            if status == "hung":
+                self._infra_failure(
+                    replica,
+                    "no reply within the "
+                    f"{self.supervisor.deadline(attempt):.1f}s deadline "
+                    "(hung worker killed)",
+                )
+                continue
+            if status == "dead":
+                self._infra_failure(
+                    replica,
+                    f"worker exited unexpectedly (exit code {frame})",
+                )
+                continue
+            if isinstance(frame, tuple) and frame and frame[0] == "error":
+                # Deterministic application error: retrying replays the
+                # same exception, so surface it with the worker's own
+                # traceback instead.
+                self._retries[replica] = 0
+                raise ReplicaWorkerError(
+                    replica, frame[1], worker_traceback=frame[2]
+                )
+            problem = self._frame_problem(frame, expect)
+            if problem is not None:
+                self._infra_failure(replica, problem)
+                continue
+            self._retries[replica] = 0
+            if frame[0] == "grad":
+                self._states[replica] = frame[4]
+            return frame
+
+    def _frame_problem(self, frame, expect: str) -> Optional[str]:
+        """Why ``frame`` is unusable as the ``expect`` reply, or ``None``."""
+        if not isinstance(frame, tuple) or not frame:
+            return f"malformed reply frame {frame!r}"
+        kind = frame[0]
+        if kind != expect:
+            return f"expected a {expect!r} reply, got {kind!r}"
+        if kind == "built":
+            if len(frame) != 4:
+                return "malformed built frame"
+            return None
+        if kind == "grad":
+            if len(frame) != 5:
+                return "malformed grad frame"
+            payload, state = frame[1], frame[4]
+            if not isinstance(state, dict) or "rng_state" not in state:
+                return "grad reply carries no worker state snapshot"
+            if not isinstance(payload, (list, tuple)) or \
+                    len(payload) != len(self._param_sizes):
+                return "corrupt gradient payload (wrong arity)"
+            for size, entry in zip(self._param_sizes, payload):
+                if entry is None:
+                    continue
+                if isinstance(entry, tuple):
+                    if len(entry) != 2:
+                        return "corrupt sparse gradient entry"
+                    continue
+                try:
+                    if np.asarray(entry).size != size:
+                        return "corrupt gradient payload (span mismatch)"
+                except Exception:
+                    return "corrupt gradient payload (not an array)"
+            return None
+        return None
+
+    def _infra_failure(self, replica: int, cause: str) -> None:
+        """Kill, respawn from the banked snapshot, and replay — or give up."""
+        self._kill(replica)
+        self._retries[replica] += 1
+        if self._retries[replica] > self.supervisor.max_retries:
+            raise WorkerSupervisionError(
+                f"replica worker {replica} failed "
+                f"{self._retries[replica]} consecutive times (last cause: "
+                f"{cause}); degrading to in-process replicas"
+            )
+        try:
+            self._spawn(replica)
+        except ReplicaWorkerError:
+            raise
+        except Exception as exc:
+            raise WorkerSupervisionError(
+                f"replica worker {replica} could not be respawned after a "
+                f"failure ({cause}): {exc!r}"
+            ) from exc
+        self._replay(replica)
+
+    def _replay(self, replica: int) -> None:
+        """Re-issue the failed op (rebuilding the active batch first).
+
+        The respawned worker resumed from the snapshot taken *before* the
+        failed op, so replaying build + op reproduces the op bit-for-bit:
+        builds consume no randomness, and the dropout stream/residual row
+        advance only on a successful ``grad`` reply.
+        """
+        outstanding = self._last_op[replica]
+        if outstanding is None:
+            return
+        op, number = outstanding
+        if op[0] == "step" and self._active_build[replica] is not None:
+            epoch, plan_index, build_number = self._active_build[replica]
+            self._send(replica, ("build", epoch, plan_index), build_number)
+            self._await(replica, "built")
+        self._send(replica, op, number)
+
+    # -- public round protocol -----------------------------------------
+    def build(self, assignments: Sequence[Tuple[int, int]], epoch: int
+              ) -> Dict[int, Tuple[bool, int, int]]:
+        """Build one round: ``(replica, plan_index)`` pairs, in parallel."""
+        for replica, plan_index in assignments:
+            self._send_fresh(replica, ("build", epoch, plan_index))
+        infos = {}
+        for replica, _ in assignments:
+            _, skip, n_nodes, n_edges = self._await(replica, "built")
+            if skip:
+                self._active_build[replica] = None
+            infos[replica] = (bool(skip), int(n_nodes), int(n_edges))
+        return infos
+
+    def step(self, participants: Sequence[int], flat_params: np.ndarray
+             ) -> Dict[int, Tuple[list, float, float]]:
+        """One synchronous gradient step across the participants."""
+        for replica in participants:
+            self._send_fresh(replica, ("step", flat_params))
+        replies = {}
+        for replica in participants:
+            _, payload, loss, seconds, _ = self._await(replica, "grad")
+            replies[replica] = (payload, float(loss), float(seconds))
+        return replies
+
+    def retire(self, participants: Sequence[int]) -> None:
+        for replica in participants:
+            conn = self._conns[replica]
+            if conn is not None:
+                try:
+                    conn.send(("retire",))
+                except (OSError, BrokenPipeError):
+                    pass
+            self._active_build[replica] = None
+
+    def worker_states(self) -> List[Optional[dict]]:
+        """Last banked per-worker snapshot (dropout PCG64 state + residual).
+
+        What the engine needs to continue the exact trajectory in-process
+        after degradation, or to checkpoint mid-run: replica 0's stream is
+        the parent stream's continuation, and each residual row is the
+        error-feedback state the in-process store must adopt.
+        """
+        return list(self._states)

@@ -159,6 +159,35 @@ class TestMain:
         assert check_trend.main(args) == 1
         assert check_trend.main(args + ["--tolerance", "0.30"]) == 0
 
+    def test_corrupt_current_json_fails_with_clear_message(
+        self, tmp_path, capsys
+    ):
+        self._write(tmp_path / "base", "BENCH_x.json", {"speedup": 2.0})
+        (tmp_path / "cur").mkdir()
+        # A benchmark run killed mid-write leaves a torn file; the gate
+        # must fail it by name instead of crashing with a traceback.
+        (tmp_path / "cur" / "BENCH_x.json").write_text('{"speedup": 2.')
+        assert check_trend.main([
+            "--baseline", str(tmp_path / "base"),
+            "--current", str(tmp_path / "cur"),
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "BENCH_x.json" in out
+        assert "corrupt or partially-written" in out
+
+    def test_corrupt_baseline_json_fails_with_clear_message(
+        self, tmp_path, capsys
+    ):
+        (tmp_path / "base").mkdir()
+        (tmp_path / "base" / "BENCH_x.json").write_text("not json at all")
+        self._write(tmp_path / "cur", "BENCH_x.json", {"speedup": 2.0})
+        assert check_trend.main([
+            "--baseline", str(tmp_path / "base"),
+            "--current", str(tmp_path / "cur"),
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "re-generate the committed baseline" in out
+
     def test_gate_all_overrides_the_noise_floor(self, tmp_path):
         self._write(tmp_path / "base", "BENCH_x.json", {"speedup": 1.05})
         self._write(tmp_path / "cur", "BENCH_x.json", {"speedup": 0.5})

@@ -29,6 +29,7 @@ from repro.training.parallel import (
     graph_payload,
     pack_parameters,
     processes_forced,
+    reset_fallback_warnings,
     unpack_parameters,
 )
 
@@ -36,6 +37,14 @@ pytestmark = pytest.mark.skipif(
     not shared_memory_available(),
     reason="host cannot create POSIX shared memory",
 )
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_cache():
+    # The resolver's denial warning is cached per (reason, label)
+    # process-wide; each test must observe its own first occurrence.
+    reset_fallback_warnings()
+    yield
 
 
 def _task_graph(n=120, seed=5):
@@ -172,6 +181,37 @@ class TestResolver:
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             assert resolve_process_workers(0) == 0
+
+    def test_exactly_one_warning_per_reason_and_label(self, monkeypatch):
+        # The denial warning is cached on (reason, label): repeating the
+        # same denial stays silent, a different label or reason warns
+        # afresh — so multi-epoch training logs each failure mode once.
+        monkeypatch.delenv("REPRO_FORCE_PROCS", raising=False)
+        requested = available_cores() + 1
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(3):
+                assert resolve_process_workers(
+                    requested, label="prefetch workers"
+                ) == 0
+            assert resolve_process_workers(
+                requested, label="replica processes"
+            ) == 0
+            monkeypatch.setenv("REPRO_FORCE_PROCS", "1")
+            unpicklable = lambda: None  # noqa: E731
+            for _ in range(2):
+                assert resolve_process_workers(
+                    2, label="prefetch workers", payload=unpicklable
+                ) == 0
+        relevant = [w for w in caught
+                    if issubclass(w.category, RuntimeWarning)]
+        assert len(relevant) == 3  # cores×2 labels + picklability×1
+        reset_fallback_warnings()
+        with pytest.warns(RuntimeWarning, match="core"):
+            monkeypatch.delenv("REPRO_FORCE_PROCS", raising=False)
+            assert resolve_process_workers(
+                requested, label="prefetch workers"
+            ) == 0
 
 
 class TestFlatParameters:

@@ -46,19 +46,39 @@ class TestCheckpoint:
         for original, restored in zip(net.parameters(), clone.parameters()):
             np.testing.assert_array_equal(original.data, restored.data)
 
+    def test_named_keys(self, model):
+        net, _ = model
+        state = state_dict(net)
+        assert "conv0.linear.weight:6x8" in state
+        assert "classifier.bias:3" in state
+
     def test_missing_key_rejected(self, model):
         net, _ = model
         state = state_dict(net)
-        state.pop("param_0")
-        with pytest.raises(ValueError, match="keys"):
+        state.pop(next(iter(state)))
+        with pytest.raises(ValueError, match="missing"):
             load_state_dict(net, state)
 
     def test_shape_mismatch_rejected(self, model):
         net, _ = model
         state = state_dict(net)
-        state["param_0"] = np.zeros((1, 1))
-        with pytest.raises(ValueError, match="shape"):
+        key = next(iter(state))
+        path, _, _ = key.rpartition(":")
+        state.pop(key)
+        state[f"{path}:1x1"] = np.zeros((1, 1))
+        with pytest.raises(ValueError, match="shape mismatch"):
             load_state_dict(net, state)
+
+    def test_legacy_positional_keys_still_load(self, model):
+        net, graph = model
+        legacy = {
+            f"param_{i}": p.data.copy()
+            for i, p in enumerate(net.parameters())
+        }
+        clone = MaxKGNN(graph, net.config, seed=99)
+        load_state_dict(clone, legacy)
+        for original, restored in zip(net.parameters(), clone.parameters()):
+            np.testing.assert_array_equal(original.data, restored.data)
 
 
 class TestSchedulers:
