@@ -27,7 +27,11 @@ matching numeric leaves are compared by key semantics:
   reported but only gated with ``--include-times`` (for same-host trend
   tracking);
 * keys present only on one side are reported, never fatal — protocols
-  grow and benchmarks may be backend-specific.
+  grow and benchmarks may be backend-specific. A *gated-kind* key the
+  current run emits but the baseline lacks (the first run of a brand-new
+  benchmark) is announced as ``new benchmark, baseline bootstrapped`` so
+  the gap is visible instead of silently passing until the baseline is
+  committed.
 
 Usage (the CI perf-smoke job)::
 
@@ -45,7 +49,7 @@ from typing import Iterator, Tuple
 
 RATIO_SUFFIXES = ("speedup", "scaling", "efficiency")
 PARITY_SUFFIXES = ("parity",)
-BOOL_KEYS = ("identical", "finite", "r1_identical")
+BOOL_KEYS = ("identical", "finite", "r1_identical", "deadline_met")
 TIME_SUFFIXES = ("_ms", "_s")
 
 
@@ -83,9 +87,19 @@ def compare_file(baseline: dict, current: dict, tolerance: float,
 
     Ratio leaves whose baseline sits below ``noise_floor`` are yielded
     with kind ``"ratio-info"`` and always ``ok`` — visible in the report,
-    never fatal.
+    never fatal. Gated-kind leaves the current run emits but the baseline
+    lacks are yielded with kind ``"new"``, ``base=None`` and always
+    ``ok`` — the caller announces the bootstrap instead of failing (the
+    baseline does not exist yet) or silently passing (the gap would
+    otherwise be invisible until someone commits the baseline).
     """
     base_flat, cur_flat = _flat(baseline), _flat(current)
+    for path in sorted(set(cur_flat) - set(base_flat)):
+        kind = _kind(path)
+        if kind in ("bool", "parity", "ratio") or (
+            kind == "time" and include_times
+        ):
+            yield path, "new", None, cur_flat[path], True
     for path in sorted(set(base_flat) & set(cur_flat)):
         base, cur = base_flat[path], cur_flat[path]
         kind = _kind(path)
@@ -145,7 +159,9 @@ def main(argv=None) -> int:
     for current_path in current_files:
         baseline_path = args.baseline / current_path.name
         if not baseline_path.exists():
-            print(f"[new]  {current_path.name}: no committed baseline yet")
+            print(f"[new]  {current_path.name}: new benchmark, baseline "
+                  "bootstrapped (no committed baseline yet — commit one "
+                  "from a full-protocol run to start gating it)")
             continue
         try:
             baseline = json.loads(baseline_path.read_text())
@@ -167,6 +183,11 @@ def main(argv=None) -> int:
             baseline, current, args.tolerance, args.include_times,
             noise_floor,
         ):
+            if kind == "new":
+                print(f"[new]  {current_path.name}:{path} "
+                      f"current={cur} — new benchmark, baseline "
+                      "bootstrapped")
+                continue
             compared += 1
             status = "ok  " if ok else "FAIL"
             if not ok:

@@ -269,6 +269,82 @@ def _run_train(args) -> str:
     return "\n".join(lines)
 
 
+def _run_serve(args) -> str:
+    """Stand up an inference service over a trained model and drive it.
+
+    Without a network stack to speak of, "serving" here is the real
+    service object under a local load generator: submit ``--requests``
+    seeded random node queries, pump the batcher, and report the
+    throughput / latency / shed profile the benchmarks gate.
+    """
+    import numpy as np
+
+    from .graphs import TRAINING_CONFIGS, load_training_dataset
+    from .models import GNNConfig, MaxKGNN
+    from .serving import InferenceService, ServiceConfig
+
+    cfg = TRAINING_CONFIGS[args.dataset]
+    graph = load_training_dataset(args.dataset, seed=args.seed)
+    if args.nonlinearity == "maxk":
+        k = args.k if args.k is not None else max(1, cfg.hidden // 8)
+    else:
+        k = None
+    config = GNNConfig(
+        model_type=args.model, in_features=cfg.n_features, hidden=cfg.hidden,
+        out_features=graph.label_dim(), n_layers=cfg.layers,
+        nonlinearity=args.nonlinearity, k=k, dropout=cfg.dropout,
+    )
+    model = MaxKGNN(graph, config, seed=args.seed)
+    service = InferenceService(graph, model, ServiceConfig(
+        queue_capacity=args.queue_capacity, max_batch=args.max_batch,
+        default_deadline=args.deadline_ms / 1000.0,
+        executors=args.executors, n_hops=args.n_hops, fanout=args.fanout,
+        cache_size=args.cache_size,
+    ))
+    try:
+        if args.checkpoint is not None:
+            service.load_checkpoint(args.checkpoint)
+        rng = np.random.default_rng(args.seed)
+        nodes = rng.integers(0, graph.n_nodes, size=args.requests)
+        start = time.perf_counter()
+        tickets = []
+        for node in nodes:
+            tickets.append(service.submit(int(node)))
+            service.pump()
+        service.drain()
+        elapsed = time.perf_counter() - start
+        served = [t.result.latency for t in tickets if t.result.ok]
+        stats = service.stats()
+        lines = [
+            f"dataset      {args.dataset} ({graph.n_nodes} nodes, "
+            f"{graph.n_edges} edges)",
+            f"model        {args.model} {args.nonlinearity}"
+            + (f" k={k}" if k else "")
+            + ("" if args.checkpoint is None
+               else f", weights from {args.checkpoint}"),
+            f"executors    {stats['executors']}"
+            + (" (degraded to in-process)" if stats["degraded"] else ""),
+            f"requests     {args.requests} submitted, "
+            f"{stats['served']} served + {stats['served_from_cache']} "
+            f"cached, {stats['shed_total']} shed "
+            f"({stats['shed_overload']} overload, "
+            f"{stats['shed_deadline'] + stats['shed_late']} deadline), "
+            f"{stats['failed']} failed",
+            f"throughput   {args.requests / elapsed:.1f} req/s "
+            f"({elapsed:.2f}s wall, mean batch "
+            f"{stats.get('mean_batch', 1):.1f})",
+        ]
+        if served:
+            lines.append(
+                f"latency      p50 {1e3 * float(np.percentile(served, 50)):.1f} ms, "
+                f"p99 {1e3 * float(np.percentile(served, 99)):.1f} ms "
+                f"(deadline {args.deadline_ms:.0f} ms)"
+            )
+        return "\n".join(lines)
+    finally:
+        service.close()
+
+
 _DESCRIPTIONS = {
     "table1": "benchmark graph inventory (published + scaled sizes)",
     "table3": "per-dataset training setup (paper/scaled)",
@@ -376,6 +452,40 @@ def build_parser() -> argparse.ArgumentParser:
                             "value) the newest checkpoint in "
                             "--checkpoint-dir")
 
+    serve = subparsers.add_parser(
+        "serve", help="run the online inference service under a local "
+                      "load generator and report latency/shed stats"
+    )
+    serve.add_argument("--dataset", default="Flickr",
+                       help="graph to serve (see table1)")
+    serve.add_argument("--model", default="sage",
+                       choices=["sage", "gcn", "gin"])
+    serve.add_argument("--nonlinearity", default="maxk",
+                       choices=["relu", "maxk"])
+    serve.add_argument("--k", type=int, default=None,
+                       help="MaxK k (default: hidden // 8)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--checkpoint", default=None,
+                       help="serve weights from this checkpoint file "
+                            "(hot-swappable; must match the architecture)")
+    serve.add_argument("--requests", type=int, default=64,
+                       help="load-generator request count")
+    serve.add_argument("--deadline-ms", type=float, default=1000.0,
+                       help="per-request deadline; late results are shed, "
+                            "never served")
+    serve.add_argument("--queue-capacity", type=int, default=64,
+                       help="admission queue bound; overflow sheds with "
+                            "an explicit 'overloaded' result")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="micro-batch window size bound")
+    serve.add_argument("--executors", type=int, default=0,
+                       help="supervised executor processes over the "
+                            "shared-memory graph store (0 = in-process)")
+    serve.add_argument("--n-hops", type=int, default=1)
+    serve.add_argument("--fanout", type=int, default=8)
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="LRU result-cache entries (0 disables)")
+
     for name in ARTIFACTS:
         sub = subparsers.add_parser(name, help=_DESCRIPTIONS[name])
         sub.add_argument("--graphs", nargs="+", default=None,
@@ -396,9 +506,13 @@ def main(argv=None) -> int:
         for name, description in _DESCRIPTIONS.items():
             print(f"{name:8s} {description}")
         print("train    train a model via the engine (--flow full/sampled/partitioned)")
+        print("serve    online inference service under a local load generator")
         return 0
     if args.artifact == "train":
         print(_run_train(args))
+        return 0
+    if args.artifact == "serve":
+        print(_run_serve(args))
         return 0
     print(ARTIFACTS[args.artifact](args))
     return 0

@@ -262,11 +262,15 @@ def khop_neighborhood(
     n_hops: int,
     fanout: int,
     rng_seed: SeedLike = 0,
-) -> Graph:
+    return_nodes: bool = False,
+):
     """Fan-out-limited k-hop neighbourhood (GraphSAGE mini-batching).
 
     Expands ``n_hops`` times, keeping at most ``fanout`` random in-edges
     per frontier node, then induces the subgraph over everything reached.
+    With ``return_nodes`` the sorted original node ids are returned
+    alongside the subgraph (row ``i`` of the subgraph is ``nodes[i]``) —
+    the serving ego-net path needs the mapping to find its query row.
     """
     if n_hops < 0 or fanout < 1:
         raise ValueError("n_hops must be >= 0 and fanout >= 1")
@@ -291,4 +295,8 @@ def khop_neighborhood(
         frontier = next_frontier
         if not frontier:
             break
-    return induced_subgraph(graph, np.array(sorted(reached), dtype=np.int64))
+    nodes = np.array(sorted(reached), dtype=np.int64)
+    subgraph = induced_subgraph(graph, nodes)
+    if return_nodes:
+        return subgraph, nodes
+    return subgraph

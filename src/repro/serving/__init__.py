@@ -1,0 +1,47 @@
+"""Online inference serving over a trained MaxK-GNN.
+
+Layered for robustness: a bounded admission queue with per-request
+deadlines (:mod:`~repro.serving.queue`), a deadline-aware micro-batcher
+fusing concurrent ego-net queries into one forward pass
+(:mod:`~repro.serving.batcher`), a supervised executor pool that
+survives crashes by bit-identical replay (:mod:`~repro.serving.
+executor`), and an LRU result cache invalidated on model reload
+(:mod:`~repro.serving.cache`) — composed by
+:class:`~repro.serving.service.InferenceService`.
+"""
+
+from .batcher import BatcherConfig, EgoBatch, MicroBatcher, build_ego_batch
+from .cache import ResultCache
+from .executor import ExecutorPool
+from .queue import (
+    DEADLINE_EXCEEDED,
+    FAILED,
+    OK,
+    OVERLOADED,
+    AdmissionQueue,
+    QueueStats,
+    Request,
+    ServeResult,
+    Ticket,
+)
+from .service import InferenceService, ServiceConfig
+
+__all__ = [
+    "OK",
+    "OVERLOADED",
+    "DEADLINE_EXCEEDED",
+    "FAILED",
+    "AdmissionQueue",
+    "QueueStats",
+    "Request",
+    "ServeResult",
+    "Ticket",
+    "BatcherConfig",
+    "EgoBatch",
+    "MicroBatcher",
+    "build_ego_batch",
+    "ResultCache",
+    "ExecutorPool",
+    "ServiceConfig",
+    "InferenceService",
+]

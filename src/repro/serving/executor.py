@@ -1,0 +1,407 @@
+"""Supervised executor pool: serving's process-isolation layer.
+
+Each executor is a spawn-started worker attached to the
+:class:`~repro.graphs.shm.SharedGraphStore` (zero-copy graph reads) that
+holds a persistent eval-mode model mirror and serves ``infer`` ops —
+build the window's ego-net batch, run one fused forward, ship each
+request's logits row back. Because a request is a pure function of
+``(model params, node, seed)``, a dead/hung/corrupt executor is survived
+by killing it, respawning, and **re-sending the in-flight batch**: the
+replayed result is bit-identical, so clients cannot observe a recovery.
+Parameters ship only when the model version changes (a respawned worker
+has seen nothing, so its first op always carries them).
+
+Supervision mirrors :class:`~repro.training.parallel.ReplicaProcessPool`:
+every reply is awaited against the worker's pipe *and* process sentinel
+under :class:`~repro.training.parallel.SupervisorConfig` deadlines;
+``max_retries`` consecutive infrastructure failures raise
+:class:`~repro.training.parallel.WorkerSupervisionError` so the service
+degrades to in-process serving with one cached warning.
+
+Fault injection (``serving`` scope, coordinates ``(executor, 1-based
+infer-op count)``): ``kill_executor`` / ``hang_executor`` die or stall
+mid-batch, ``corrupt_result`` ships a garbage frame, and the
+parameterised ``slow_request=MS`` sleeps before serving so deadline
+paths are drivable deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..graphs.shm import SharedGraphStore
+from ..sparse.ops import get_backend, set_backend
+from ..training.faults import current_fault_plan
+from ..training.parallel import (
+    SupervisorConfig,
+    WorkerSupervisionError,
+    _await_frame,
+    unpack_parameters,
+)
+from .batcher import MicroBatcher, build_ego_batch, forward_rows
+from .queue import Request
+
+__all__ = ["ExecutorPool", "InferItem"]
+
+#: One dispatched query: ``(rid, node, seed)`` — everything an executor
+#: needs beyond the current parameters to reproduce the result exactly.
+InferItem = Tuple[int, int, int]
+
+#: How long an injected ``hang_executor`` stalls — far past any sane
+#: supervision deadline, so the parent's timeout path is what ends it.
+_HANG_SECONDS = 3600.0
+
+
+def _consume_serving_events(events: List, a: int, b: int
+                            ) -> List[Tuple[str, Optional[float]]]:
+    """``(action, param)`` pairs scheduled at ``(a, b)``; one-shots consumed.
+
+    Same consumption rule as the training pools (non-wildcard events are
+    dropped when shipped so a respawn cannot re-fire its predecessor's
+    fault; wildcards persist to drive retry exhaustion), but serving
+    actions may carry a parameter, so pairs are returned instead of bare
+    action strings.
+    """
+    actions: List[Tuple[str, Optional[float]]] = []
+    for event in list(events):
+        if event.matches(a, b):
+            actions.append((event.action, event.param))
+            if not event.persistent:
+                events.remove(event)
+    return actions
+
+
+def _apply_serving_faults(actions: Sequence[Tuple[str, Optional[float]]]
+                          ) -> bool:
+    """Worker-side injection point. Returns whether to corrupt the reply."""
+    corrupt = False
+    for action, param in actions:
+        if action == "kill_executor":
+            os._exit(3)
+        elif action == "hang_executor":
+            time.sleep(_HANG_SECONDS)
+            os._exit(3)
+        elif action == "slow_request":
+            time.sleep((param or 0.0) / 1000.0)
+        elif action == "corrupt_result":
+            corrupt = True
+    return corrupt
+
+
+def _serving_worker(conn, spec: dict) -> None:
+    """One executor: eval-mode model mirror + infer loop over shared graph.
+
+    Protocol (parent → worker → parent):
+
+    * handshake — ``("ready", [param sizes])`` once attached and built;
+    * ``("infer", version, flat_or_None, items, actions)`` →
+      ``("result", version, [logits rows])`` — ``flat`` overwrites the
+      mirror's parameters when present (``None`` means the mirror already
+      holds ``version``); ``items`` is a list of ``(rid, node, seed)``;
+      rows come back in item order;
+    * ``("stop",)`` — exit the loop.
+    """
+    store = None
+    try:
+        set_backend(spec["backend"])
+        store = SharedGraphStore.attach(spec["handle"])
+        graph = store.graph()
+
+        from ..models import MaxKGNN
+
+        # Parameters are overwritten from the parent's flat vector before
+        # the first infer, so the mirror's init seed is irrelevant — only
+        # the architecture must match.
+        model = MaxKGNN(graph, spec["config"], seed=0)
+        model.eval()
+        parameters = list(model.parameters())
+        n_hops = spec["n_hops"]
+        fanout = spec["fanout"]
+        conn.send(("ready", [int(p.data.size) for p in parameters]))
+
+        while True:
+            message = conn.recv()
+            if message[0] == "stop":
+                break
+            _, version, flat, items, actions = message
+            corrupt = _apply_serving_faults(actions)
+            if flat is not None:
+                unpack_parameters(parameters, np.asarray(flat))
+            requests = [
+                Request(rid=rid, node=node, seed=seed,
+                        deadline=float("inf"), submitted=0.0)
+                for rid, node, seed in items
+            ]
+            batch = build_ego_batch(graph, requests, n_hops, fanout)
+            MicroBatcher.warm(model, batch.merged)
+            rows = forward_rows(model, batch)
+            MicroBatcher.release(batch)
+            if corrupt:
+                conn.send(("result", version, "corrupted-rows"))
+            else:
+                conn.send(("result", version, rows))
+    except (EOFError, KeyboardInterrupt, BrokenPipeError, OSError):
+        pass
+    finally:
+        if store is not None:
+            store.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class ExecutorPool:
+    """Round-robin pool of supervised serving executors.
+
+    ``infer`` dispatches one window to the next executor and blocks for
+    its (validated) rows, transparently respawning and replaying on any
+    infrastructure failure. The current flat parameter vector is owned by
+    the pool (:meth:`set_params` bumps the version); executors receive it
+    lazily — only on their first op of a new version.
+    """
+
+    def __init__(self, graph: Graph, config, n_hops: int, fanout: int,
+                 executors: int, param_sizes: Sequence[int],
+                 supervisor: Optional[SupervisorConfig] = None):
+        import multiprocessing as mp
+
+        if executors < 1:
+            raise ValueError("need at least one executor")
+        self.executors = executors
+        self.supervisor = supervisor or SupervisorConfig.from_env()
+        plan = current_fault_plan()
+        self._events = list(plan.events_for("serving")) if plan else []
+        self._store = SharedGraphStore.export(graph)
+        self._closed = False
+        self._ctx = mp.get_context("spawn")
+        self._config = config
+        self._n_hops = n_hops
+        self._fanout = fanout
+        self._param_sizes = [int(size) for size in param_sizes]
+        self._flat: Optional[np.ndarray] = None
+        self._version = 0
+        self._conns: List = [None] * executors
+        self._procs: List = [None] * executors
+        #: Last parameter version each executor's mirror holds (None =
+        #: fresh worker that has seen nothing, must be sent the vector).
+        self._shipped: List[Optional[int]] = [None] * executors
+        self._ops = [0] * executors
+        self._retries = [0] * executors
+        self._next = 0
+        self.respawns = 0
+        try:
+            for executor in range(executors):
+                self._spawn(executor)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- lifecycle -----------------------------------------------------
+    def _spawn(self, executor: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        spec = {
+            "backend": get_backend().name,
+            "handle": self._store.handle(),
+            "config": self._config,
+            "n_hops": self._n_hops,
+            "fanout": self._fanout,
+        }
+        proc = self._ctx.Process(
+            target=_serving_worker, args=(child_conn, spec),
+            name=f"repro-executor-{executor}", daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._conns[executor] = parent_conn
+        self._procs[executor] = proc
+        self._shipped[executor] = None
+        status, frame = _await_frame(
+            parent_conn, proc, self.supervisor.deadline(0)
+        )
+        if status != "ok" or not (
+            isinstance(frame, tuple) and len(frame) == 2
+            and frame[0] == "ready" and list(frame[1]) == self._param_sizes
+        ):
+            detail = (
+                f"exited with code {frame}" if status == "dead"
+                else "no ready handshake" if status == "hung"
+                else f"bad handshake {frame!r}"
+            )
+            self._kill(executor)
+            raise RuntimeError(
+                f"serving executor {executor} failed to start ({detail})"
+            )
+
+    def _kill(self, executor: int) -> None:
+        proc = self._procs[executor]
+        conn = self._conns[executor]
+        if proc is not None:
+            if proc.is_alive():
+                proc.kill()
+            proc.join(timeout=5.0)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._procs[executor] = None
+        self._conns[executor] = None
+        self._shipped[executor] = None
+
+    def close(self) -> None:
+        """Stop the executors, join them, free the shared segments."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            if conn is None:
+                continue
+            try:
+                conn.send(("stop",))
+            except Exception:
+                pass
+        for proc in self._procs:
+            if proc is None:
+                continue
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5.0)
+        for conn in self._conns:
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        self._conns = []
+        self._procs = []
+        self._store.close()
+        self._store.unlink()
+
+    # -- parameters -----------------------------------------------------
+    def set_params(self, flat: np.ndarray, version: int) -> None:
+        """Install the serving parameter vector (hot-swap entry point).
+
+        Nothing is shipped here — each executor picks the new version up
+        lazily with its next op, so a swap costs one vector send per
+        executor, not a synchronous broadcast.
+        """
+        self._flat = np.asarray(flat, dtype=np.float64).copy()
+        self._version = int(version)
+
+    # -- supervised infer ------------------------------------------------
+    def infer(self, items: Sequence[InferItem]) -> List[np.ndarray]:
+        """Serve one window on the next executor; returns rows in order.
+
+        Blocks through any respawn-and-replay recovery. Raises
+        :class:`WorkerSupervisionError` once ``max_retries`` consecutive
+        infrastructure failures exhaust the budget — the service then
+        degrades to in-process serving.
+        """
+        if self._flat is None:
+            raise RuntimeError("ExecutorPool.set_params was never called")
+        executor = self._next
+        self._next = (self._next + 1) % self.executors
+        items = [(int(r), int(n), int(s)) for r, n, s in items]
+        self._ops[executor] += 1
+        number = self._ops[executor]
+        self._send_infer(executor, items, number)
+        return self._await_result(executor, items, number)
+
+    def _send_infer(self, executor: int, items: List[InferItem],
+                    number: int) -> None:
+        actions = _consume_serving_events(self._events, executor, number)
+        flat = None
+        if self._shipped[executor] != self._version:
+            flat = self._flat
+        try:
+            self._conns[executor].send(
+                ("infer", self._version, flat, items, actions)
+            )
+        except (OSError, BrokenPipeError, ValueError):
+            pass  # the sentinel wait will classify the dead worker
+        self._shipped[executor] = self._version
+
+    def _await_result(self, executor: int, items: List[InferItem],
+                      number: int) -> List[np.ndarray]:
+        while True:
+            attempt = self._retries[executor]
+            status, frame = _await_frame(
+                self._conns[executor], self._procs[executor],
+                self.supervisor.deadline(attempt),
+            )
+            if status == "hung":
+                self._infra_failure(
+                    executor, items, number,
+                    "no reply within the "
+                    f"{self.supervisor.deadline(attempt):.1f}s deadline "
+                    "(hung executor killed)",
+                )
+                continue
+            if status == "dead":
+                self._infra_failure(
+                    executor, items, number,
+                    f"executor exited unexpectedly (exit code {frame})",
+                )
+                continue
+            problem = self._frame_problem(frame, len(items))
+            if problem is not None:
+                self._infra_failure(executor, items, number, problem)
+                continue
+            self._retries[executor] = 0
+            return [np.asarray(row, dtype=np.float64) for row in frame[2]]
+
+    def _frame_problem(self, frame, n_items: int) -> Optional[str]:
+        """Why ``frame`` is unusable as the result reply, or ``None``."""
+        if not isinstance(frame, tuple) or len(frame) != 3 \
+                or frame[0] != "result":
+            return f"malformed result frame {frame!r}"
+        if frame[1] != self._version:
+            return (
+                f"result for stale parameter version {frame[1]} "
+                f"(current {self._version})"
+            )
+        rows = frame[2]
+        if not isinstance(rows, (list, tuple)) or len(rows) != n_items:
+            return "corrupt result payload (wrong arity)"
+        for row in rows:
+            try:
+                arr = np.asarray(row, dtype=np.float64)
+            except Exception:
+                return "corrupt result payload (not an array)"
+            if arr.ndim != 1 or arr.size == 0:
+                return "corrupt result payload (bad row shape)"
+        return None
+
+    def _infra_failure(self, executor: int, items: List[InferItem],
+                       number: int, cause: str) -> None:
+        """Kill, respawn, re-send the in-flight window — or give up.
+
+        The replayed op is bit-identical (pure function of (params, items)
+        — the respawned mirror receives the same parameter vector and
+        rebuilds the same seeded ego-nets), so recovery is invisible to
+        the requests in the window.
+        """
+        self._kill(executor)
+        self._retries[executor] += 1
+        if self._retries[executor] > self.supervisor.max_retries:
+            raise WorkerSupervisionError(
+                f"serving executor {executor} failed "
+                f"{self._retries[executor]} consecutive times (last cause: "
+                f"{cause}); degrading to in-process serving"
+            )
+        try:
+            self._spawn(executor)
+        except Exception as exc:
+            raise WorkerSupervisionError(
+                f"serving executor {executor} could not be respawned after "
+                f"a failure ({cause}): {exc!r}"
+            ) from exc
+        self.respawns += 1
+        self._send_infer(executor, items, number)

@@ -13,6 +13,7 @@ streams.
 
 from __future__ import annotations
 
+import atexit
 import inspect
 import time
 import warnings
@@ -418,6 +419,9 @@ class Engine:
     ):
         if graph.features is None or graph.labels is None:
             raise ValueError("graph must carry features and labels")
+        # An exception past this point (or in a subclass __init__) leaves
+        # a partially constructed engine; close() guards every attribute
+        # it touches so cleanup of such an object is still safe.
         self.model = model
         self.graph = graph
         self.flow = flow if flow is not None else FullGraphFlow()
@@ -464,6 +468,9 @@ class Engine:
                 if conv.norm not in norms:
                     norms.append(conv.norm)
             set_warm_norms(tuple(norms))
+        # A killed/forgotten run must not leak worker processes or shared
+        # segments; interpreter exit closes every live engine.
+        atexit.register(self.close)
 
     # ------------------------------------------------------------------
     def _warm_subgraph(self, subgraph: Graph) -> None:
@@ -740,9 +747,17 @@ class Engine:
             pool.close()
 
     def close(self) -> None:
-        """Release worker pools and shared-memory segments (idempotent)."""
-        self._close_replica_pool()
-        close_flow = getattr(self.flow, "close", None)
+        """Release worker pools and shared-memory segments.
+
+        Idempotent, registered via ``atexit``, and safe on a partially
+        constructed engine (an ``__init__`` that raised): every attribute
+        is guarded, so double-close and close-after-failed-init are
+        no-ops rather than ``AttributeError``s.
+        """
+        atexit.unregister(self.close)
+        if getattr(self, "_replica_pool", None) is not None:
+            self._close_replica_pool()
+        close_flow = getattr(getattr(self, "flow", None), "close", None)
         if close_flow is not None:
             close_flow()
 

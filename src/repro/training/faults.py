@@ -19,6 +19,13 @@ Scopes and coordinates:
   of the worker's *first incarnation* (respawned workers receive only the
   not-yet-consumed events, so a recovery cannot re-fire the fault that
   caused it).
+* ``serving`` — a :class:`~repro.serving.executor.ExecutorPool` request
+  executor; coordinates are ``(executor index, 1-based infer-op count)``
+  with the same first-incarnation consumption rule as ``replica``. The
+  serving actions are ``kill_executor`` / ``hang_executor`` (die or stall
+  mid-batch), ``corrupt_result`` (ship a garbage reply frame), and the
+  parameterised ``slow_request=MS`` (sleep ``MS`` milliseconds before
+  serving — drives the deadline/shed paths without a flaky host).
 
 Either coordinate may be the wildcard ``*`` (stored as ``-1``): a wildcard
 event matches every value and is never consumed, which is how tests drive
@@ -41,6 +48,7 @@ from typing import List, Optional, Sequence, Tuple
 
 __all__ = [
     "FAULT_ACTIONS",
+    "PARAM_ACTIONS",
     "FAULT_PLAN_ENV",
     "FaultEvent",
     "FaultPlan",
@@ -52,10 +60,18 @@ FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 
 #: Injectable failure modes, in increasing order of subtlety: a worker
 #: that dies outright, one that stops responding, one that ships garbage,
-#: and one that tears its pipe down without an error frame.
-FAULT_ACTIONS = ("kill_worker", "hang_worker", "corrupt_payload", "drop_pipe")
+#: and one that tears its pipe down without an error frame — plus the
+#: serving-scoped variants (an executor that dies / stalls mid-batch,
+#: ships a corrupt result, or serves late by a parameterised delay).
+FAULT_ACTIONS = (
+    "kill_worker", "hang_worker", "corrupt_payload", "drop_pipe",
+    "kill_executor", "hang_executor", "corrupt_result", "slow_request",
+)
 
-FAULT_SCOPES = ("prefetch", "replica")
+#: Actions that take (indeed require) a ``=value`` parameter.
+PARAM_ACTIONS = ("slow_request",)
+
+FAULT_SCOPES = ("prefetch", "replica", "serving")
 
 #: Wildcard coordinate: matches every value, never consumed.
 WILDCARD = -1
@@ -66,16 +82,19 @@ class FaultEvent:
     """One scheduled fault: ``action`` at coordinate ``(a, b)`` of ``scope``.
 
     For ``scope="prefetch"``, ``a`` is the epoch and ``b`` the plan slot of
-    the build task to sabotage. For ``scope="replica"``, ``a`` is the
-    replica index and ``b`` the 1-based count of build/step messages the
-    worker has handled when the fault fires. ``-1`` in either position is
-    the wildcard.
+    the build task to sabotage. For ``scope="replica"`` and
+    ``scope="serving"``, ``a`` is the worker/executor index and ``b`` the
+    1-based count of messages the worker has handled when the fault fires.
+    ``-1`` in either position is the wildcard. ``param`` carries the value
+    of parameterised actions (``slow_request``'s delay in milliseconds),
+    spelled ``action=value`` in the spec grammar.
     """
 
     action: str
     scope: str
     a: int
     b: int
+    param: Optional[float] = None
 
     def __post_init__(self):
         if self.action not in FAULT_ACTIONS:
@@ -87,6 +106,15 @@ class FaultEvent:
             raise ValueError(
                 f"unknown fault scope {self.scope!r}; "
                 f"options: {list(FAULT_SCOPES)}"
+            )
+        if self.action in PARAM_ACTIONS and self.param is None:
+            raise ValueError(
+                f"fault action {self.action!r} needs a parameter "
+                f"(spell it {self.action}=VALUE)"
+            )
+        if self.action not in PARAM_ACTIONS and self.param is not None:
+            raise ValueError(
+                f"fault action {self.action!r} takes no parameter"
             )
 
     def matches(self, a: int, b: int) -> bool:
@@ -102,7 +130,10 @@ class FaultEvent:
         def coord(value: int) -> str:
             return "*" if value == WILDCARD else str(value)
 
-        return f"{self.action}:{self.scope}:{coord(self.a)}:{coord(self.b)}"
+        action = self.action
+        if self.param is not None:
+            action = f"{action}={self.param:g}"
+        return f"{action}:{self.scope}:{coord(self.a)}:{coord(self.b)}"
 
 
 class FaultPlan:
@@ -126,6 +157,20 @@ class FaultPlan:
                     "action:scope:a:b"
                 )
             action, scope, a, b = parts
+            action = action.strip()
+            param: Optional[float] = None
+            if "=" in action:
+                action, _, raw = action.partition("=")
+                try:
+                    param = float(raw)
+                except ValueError:
+                    raise ValueError(
+                        f"malformed fault parameter {raw!r} in {chunk!r}"
+                    ) from None
+                if param < 0:
+                    raise ValueError(
+                        f"fault parameters must be >= 0, got {raw!r}"
+                    )
 
             def coord(token: str, chunk: str = chunk) -> int:
                 token = token.strip()
@@ -144,7 +189,7 @@ class FaultPlan:
                 return value
 
             events.append(FaultEvent(
-                action.strip(), scope.strip(), coord(a), coord(b)
+                action, scope.strip(), coord(a), coord(b), param=param
             ))
         return cls(events)
 

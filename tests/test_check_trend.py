@@ -50,6 +50,15 @@ class TestCompareFile:
         )
         assert verdicts == {"x.identical": False, "x.finite": True}
 
+    def test_deadline_met_is_a_gated_boolean(self):
+        # The serving benchmark's p99-under-deadline claim gates like
+        # the bitwise-identity booleans: flipping False is a regression.
+        verdicts = _verdicts(
+            {"serve": {"deadline_met": True}},
+            {"serve": {"deadline_met": False}},
+        )
+        assert verdicts == {"serve.deadline_met": False}
+
     def test_false_baseline_boolean_is_not_gating(self):
         verdicts = _verdicts({"x": {"identical": False}},
                              {"x": {"identical": True}})
@@ -62,10 +71,35 @@ class TestCompareFile:
         verdicts = _verdicts(baseline, current, include_times=True)
         assert verdicts == {"epoch_ms": False}
 
-    def test_disjoint_keys_are_ignored(self):
-        verdicts = _verdicts({"only_base": {"speedup": 2.0}},
-                             {"only_cur": {"speedup": 1.0}})
+    def test_baseline_only_keys_are_ignored(self):
+        verdicts = _verdicts({"only_base": {"speedup": 2.0}}, {"other": 1})
         assert verdicts == {}
+
+    def test_current_only_gated_key_is_announced_not_failed(self):
+        """A gated-kind key the baseline lacks (first run of a brand-new
+        benchmark) must surface as a non-fatal 'new' row — neither a
+        failure (there is nothing to compare against) nor silence (the
+        un-gated gap would be invisible until a baseline is committed)."""
+        rows = list(check_trend.compare_file(
+            {"other": 1}, {"only_cur": {"speedup": 1.5, "identical": True}},
+            0.2, False,
+        ))
+        assert rows == [
+            ("only_cur.identical", "new", None, True, True),
+            ("only_cur.speedup", "new", None, 1.5, True),
+        ]
+
+    def test_current_only_ungated_keys_stay_silent(self):
+        # Non-gated kinds (plain counters, times without --include-times)
+        # are protocol growth, not missing baselines.
+        rows = list(check_trend.compare_file(
+            {}, {"req_count": 100, "epoch_ms": 3.0}, 0.2, False,
+        ))
+        assert rows == []
+        rows = list(check_trend.compare_file(
+            {}, {"epoch_ms": 3.0}, 0.2, True,
+        ))
+        assert rows == [("epoch_ms", "new", None, 3.0, True)]
 
     def test_nested_backend_sections_compare_leaf_by_leaf(self):
         baseline = {"prefetch[scipy]": {"speedup": 1.0},
@@ -143,13 +177,29 @@ class TestMain:
             "--current", str(tmp_path / "cur"),
         ]) == 1
 
-    def test_new_benchmark_without_baseline_passes(self, tmp_path):
+    def test_new_benchmark_without_baseline_passes(self, tmp_path, capsys):
         self._write(tmp_path / "cur", "BENCH_new.json", {"speedup": 1.0})
         (tmp_path / "base").mkdir()
         assert check_trend.main([
             "--baseline", str(tmp_path / "base"),
             "--current", str(tmp_path / "cur"),
         ]) == 0
+        out = capsys.readouterr().out
+        assert "new benchmark, baseline bootstrapped" in out
+
+    def test_new_gated_key_in_existing_benchmark_is_announced(
+        self, tmp_path, capsys
+    ):
+        self._write(tmp_path / "base", "BENCH_x.json", {"speedup": 2.0})
+        self._write(tmp_path / "cur", "BENCH_x.json",
+                    {"speedup": 2.1, "serve": {"identical": True}})
+        assert check_trend.main([
+            "--baseline", str(tmp_path / "base"),
+            "--current", str(tmp_path / "cur"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serve.identical" in out
+        assert "new benchmark, baseline bootstrapped" in out
 
     def test_tolerance_flag_widens_the_floor(self, tmp_path):
         self._write(tmp_path / "base", "BENCH_x.json", {"speedup": 2.0})
