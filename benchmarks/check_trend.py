@@ -43,13 +43,14 @@ from __future__ import annotations
 
 import argparse
 import json
-import sys
+import os
 from pathlib import Path
-from typing import Iterator, Tuple
+from typing import Iterator, List, Tuple
 
 RATIO_SUFFIXES = ("speedup", "scaling", "efficiency")
 PARITY_SUFFIXES = ("parity",)
-BOOL_KEYS = ("identical", "finite", "r1_identical", "deadline_met")
+BOOL_KEYS = ("identical", "finite", "r1_identical", "deadline_met",
+             "zero_stale")
 TIME_SUFFIXES = ("_ms", "_s")
 
 
@@ -127,6 +128,48 @@ def compare_file(baseline: dict, current: dict, tolerance: float,
             yield path, kind, base, cur, cur <= ceiling
 
 
+def _write_step_summary(rows: List[Tuple], compared: int, failures: int,
+                        tolerance: float) -> None:
+    """Append a markdown gate table to ``$GITHUB_STEP_SUMMARY`` when set.
+
+    GitHub renders the file after the job, so the per-key verdicts
+    (pass / FAIL / bootstrapped) are readable from the run page without
+    digging through the log. Appending (not truncating) keeps earlier
+    steps' sections intact; outside CI the variable is unset and this is
+    a no-op.
+    """
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    verdict = "failed" if failures else "passed"
+    lines = [
+        "## Benchmark trend gate",
+        "",
+        f"**{verdict}** — {compared} leaves compared, {failures} "
+        f"regression(s), tolerance {tolerance:.0%}",
+        "",
+        "| benchmark | key | kind | baseline | current | status |",
+        "| --- | --- | --- | --- | --- | --- |",
+    ]
+    for name, path, kind, base, cur, ok in rows:
+        if kind == "new":
+            status = "bootstrapped"
+        elif ok:
+            status = "pass"
+        else:
+            status = "**FAIL**"
+        base_text = "—" if base is None else str(base)
+        cur_text = "—" if cur is None else str(cur)
+        lines.append(
+            f"| {name} | {path} | {kind} | {base_text} | {cur_text} "
+            f"| {status} |"
+        )
+    if not rows:
+        lines.append("| — | — | — | — | — | no comparable leaves |")
+    with open(summary_path, "a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Gate perf-smoke BENCH_*.json against committed baselines"
@@ -156,12 +199,16 @@ def main(argv=None) -> int:
 
     failures = 0
     compared = 0
+    summary_rows: List[Tuple] = []
     for current_path in current_files:
         baseline_path = args.baseline / current_path.name
         if not baseline_path.exists():
             print(f"[new]  {current_path.name}: new benchmark, baseline "
                   "bootstrapped (no committed baseline yet — commit one "
                   "from a full-protocol run to start gating it)")
+            summary_rows.append(
+                (current_path.name, "*", "new", None, None, True)
+            )
             continue
         try:
             baseline = json.loads(baseline_path.read_text())
@@ -169,6 +216,10 @@ def main(argv=None) -> int:
             print(f"[FAIL] {baseline_path}: corrupt or partially-written "
                   f"JSON ({exc}); re-generate the committed baseline")
             failures += 1
+            summary_rows.append(
+                (current_path.name, "*", "corrupt-baseline", None, None,
+                 False)
+            )
             continue
         try:
             current = json.loads(current_path.read_text())
@@ -177,12 +228,19 @@ def main(argv=None) -> int:
                   f"JSON ({exc}); the benchmark run that wrote it was "
                   f"interrupted — re-run it")
             failures += 1
+            summary_rows.append(
+                (current_path.name, "*", "corrupt-current", None, None,
+                 False)
+            )
             continue
         noise_floor = 0.0 if args.gate_all else args.noise_floor
         for path, kind, base, cur, ok in compare_file(
             baseline, current, args.tolerance, args.include_times,
             noise_floor,
         ):
+            summary_rows.append(
+                (current_path.name, path, kind, base, cur, ok)
+            )
             if kind == "new":
                 print(f"[new]  {current_path.name}:{path} "
                       f"current={cur} — new benchmark, baseline "
@@ -199,6 +257,7 @@ def main(argv=None) -> int:
           f"tolerance {args.tolerance:.0%}")
     if compared == 0:
         print("warning: no overlapping gated leaves found")
+    _write_step_summary(summary_rows, compared, failures, args.tolerance)
     return 1 if failures else 0
 
 

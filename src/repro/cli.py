@@ -33,6 +33,7 @@ import time
 from typing import Callable, Dict
 
 from .experiments import (
+    drift,
     fig1_breakdown,
     fig4_approximator,
     fig8_kernels,
@@ -98,6 +99,13 @@ def _run_table5(args) -> str:
     )
 
 
+def _run_drift(args) -> str:
+    return drift.report(
+        dataset=(args.datasets[0] if args.datasets else "Flickr"),
+        epochs=args.epochs,
+    )
+
+
 ARTIFACTS: Dict[str, Callable] = {
     "table1": _run_table1,
     "table3": _run_table3,
@@ -109,6 +117,7 @@ ARTIFACTS: Dict[str, Callable] = {
     "table2": _run_table2,
     "table4": _run_table4,
     "table5": _run_table5,
+    "drift": _run_drift,
 }
 
 def _run_train(args) -> str:
@@ -356,6 +365,7 @@ _DESCRIPTIONS = {
     "table2": "memory-system profiling (cache simulator)",
     "table4": "MaxK selection kernel latency",
     "table5": "accuracy & speedup at the selected k values",
+    "drift": "streaming accuracy under live graph mutation (update/query trace)",
 }
 
 

@@ -5,6 +5,7 @@ Each module exposes ``run(...)`` returning a structured result object and
 """
 
 from . import (
+    drift,
     fig1_breakdown,
     fig4_approximator,
     fig8_kernels,
@@ -19,6 +20,7 @@ from . import (
 from .common import K_VALUES, epoch_model_for, format_table, pattern_for, scaled_k
 
 __all__ = [
+    "drift",
     "fig1_breakdown",
     "fig4_approximator",
     "fig8_kernels",

@@ -18,6 +18,7 @@ from .features import (
 from .batching import batch_graphs
 from .generators import chain_of_cliques, erdos_renyi_graph, rmat_graph, sbm_graph
 from .graph import Graph, normalized_adjacency
+from .mutation import GraphDelta, apply_delta, merge_csr_delta
 from .partition import (
     Partition,
     bfs_partition,
@@ -54,6 +55,9 @@ from .sampling import (
 __all__ = [
     "Graph",
     "normalized_adjacency",
+    "GraphDelta",
+    "apply_delta",
+    "merge_csr_delta",
     "batch_graphs",
     "rmat_graph",
     "sbm_graph",

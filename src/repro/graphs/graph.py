@@ -10,7 +10,7 @@ The paper's dataflow figure annotates the adjacency edge weights per model:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -47,6 +47,18 @@ class Graph:
     #: for the full-graph mean (GraphSAINT normalisation).
     loss_weights: Optional[np.ndarray] = None
     _adj_cache: Dict[str, CSRMatrix] = field(default_factory=dict, repr=False)
+    #: Mutation stamp: bumped by :meth:`apply_delta`. Every graph-derived
+    #: cache (adjacency, transpose, structural bases, sampler neighbour
+    #: tables) records the generation it was built under and is dropped
+    #: lazily when the stamps diverge.
+    generation: int = 0
+    #: Unnormalised structural bases ("plain" edge multiset, "loops" =
+    #: edges + I) the normalised adjacencies derive from; kept separate so
+    #: mutation can merge deltas into them incrementally.
+    _structure_cache: Dict[str, CSRMatrix] = field(
+        default_factory=dict, repr=False
+    )
+    _cache_generation: int = field(default=0, repr=False)
 
     def __post_init__(self):
         self.src = np.asarray(self.src, dtype=np.int64)
@@ -98,12 +110,46 @@ class Graph:
         return float((n + 1 - 2 * (cumulative / cumulative[-1]).sum()) / n)
 
     # ------------------------------------------------------------------
+    def _fresh_caches(self) -> None:
+        """Drop caches stamped by an older generation (mutation safety)."""
+        if self._cache_generation != self.generation:
+            self._adj_cache.clear()
+            self._structure_cache.clear()
+            neighbours = getattr(self, "_neighbour_cache", None)
+            if neighbours is not None:
+                neighbours.clear()
+            self._cache_generation = self.generation
+
+    def structural_adjacency(self, loops: bool = False) -> CSRMatrix:
+        """The unnormalised adjacency (optionally ``A + I``), cached.
+
+        These are the bases every :func:`normalized_adjacency` variant
+        scales from; :mod:`repro.graphs.mutation` merges deltas into them
+        incrementally instead of re-sorting the edge list.
+        """
+        self._fresh_caches()
+        key = "loops" if loops else "plain"
+        base = self._structure_cache.get(key)
+        if base is None:
+            shape = (self.n_nodes, self.n_nodes)
+            if loops:
+                loop = np.arange(self.n_nodes, dtype=np.int64)
+                rows = np.concatenate([self.dst, loop])
+                cols = np.concatenate([self.src, loop])
+                data = np.ones(len(rows), dtype=np.float64)
+                base = coo_to_csr(rows, cols, data, shape)
+            else:
+                base = CSRMatrix.from_edges(self.src, self.dst, shape)
+            self._structure_cache[key] = base
+        return base
+
     def adjacency(self, norm: str = "none") -> CSRMatrix:
         """The (optionally normalised) adjacency in CSR form, cached.
 
         ``norm`` is one of ``none``/``gin`` (unit weights), ``sage``
         (1/d mean aggregator) or ``gcn`` (symmetric with self-loops).
         """
+        self._fresh_caches()
         key = "none" if norm == "gin" else norm
         if key not in self._adj_cache:
             self._adj_cache[key] = normalized_adjacency(self, key)
@@ -116,10 +162,22 @@ class Graph:
         the graph lets the training engine rebind one model across many
         subgraph batches without recomputing the transpose per step.
         """
+        self._fresh_caches()
         key = ("none" if norm == "gin" else norm) + "^T"
         if key not in self._adj_cache:
             self._adj_cache[key] = self.adjacency(norm).transpose()
         return self._adj_cache[key]
+
+    def apply_delta(self, delta, warm: bool = True) -> "Graph":
+        """Apply a :class:`~repro.graphs.mutation.GraphDelta` in place.
+
+        Merges the delta into the cached CSR buffers incrementally, bumps
+        :attr:`generation`, and swaps the old matrices out of the active
+        sparse backend's plan caches. See :mod:`repro.graphs.mutation`.
+        """
+        from .mutation import apply_delta as _apply
+
+        return _apply(self, delta, warm=warm)
 
     def to_undirected(self) -> "Graph":
         """Add reverse edges (deduplicated by the CSR constructor downstream)."""
@@ -154,21 +212,21 @@ def normalized_adjacency(graph: Graph, norm: str = "none") -> CSRMatrix:
     ``none``: ``A[dst, src] = 1`` (GIN sum aggregator).
     ``sage``: rows scaled by 1 / in-degree (mean aggregator).
     ``gcn``:  self-loops added, then ``D^{-1/2} (A + I) D^{-1/2}``.
+
+    The structural bases come from :meth:`Graph.structural_adjacency`, so
+    a graph mutated through :mod:`repro.graphs.mutation` re-derives every
+    normalisation from the incrementally-merged buffers via the exact
+    scaling expressions a from-scratch build would use (bit-identity).
     """
-    shape: Tuple[int, int] = (graph.n_nodes, graph.n_nodes)
     if norm in ("none", "gin"):
-        return CSRMatrix.from_edges(graph.src, graph.dst, shape)
+        return graph.structural_adjacency(loops=False)
     if norm == "sage":
-        adj = CSRMatrix.from_edges(graph.src, graph.dst, shape)
+        adj = graph.structural_adjacency(loops=False)
         degrees = adj.row_degrees().astype(np.float64)
         inv = np.divide(1.0, degrees, out=np.zeros_like(degrees), where=degrees > 0)
         return adj.scale_rows(inv)
     if norm == "gcn":
-        loop = np.arange(graph.n_nodes, dtype=np.int64)
-        rows = np.concatenate([graph.dst, loop])
-        cols = np.concatenate([graph.src, loop])
-        data = np.ones(len(rows), dtype=np.float64)
-        adj = coo_to_csr(rows, cols, data, shape)
+        adj = graph.structural_adjacency(loops=True)
         degrees = adj.row_degrees().astype(np.float64)
         inv_sqrt = np.divide(
             1.0, np.sqrt(degrees), out=np.zeros_like(degrees), where=degrees > 0

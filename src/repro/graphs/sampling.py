@@ -208,6 +208,9 @@ def _neighbour_table(graph: Graph, direction: str) -> Dict[int, List[int]]:
     the graph instance: the walk/khop samplers rebuild per batch otherwise,
     putting an O(E) Python loop on the sampled flow's critical path.
     """
+    # Mutation safety: a generation bump (Graph.apply_delta) must not leave
+    # stale neighbour lists behind — _fresh_caches clears this cache too.
+    graph._fresh_caches()
     cache = getattr(graph, "_neighbour_cache", None)
     if cache is None:
         cache = {}

@@ -104,6 +104,9 @@ def _serving_worker(conn, spec: dict) -> None:
       mirror's parameters when present (``None`` means the mirror already
       holds ``version``); ``items`` is a list of ``(rid, node, seed)``;
       rows come back in item order;
+    * ``("rebind", handle)`` → ``("rebound",)`` — attach the new shared
+      segments (live graph mutation), drop the old ones, keep the warm
+      model mirror: the executor is re-attached, never restarted;
     * ``("stop",)`` — exit the loop.
     """
     store = None
@@ -128,6 +131,13 @@ def _serving_worker(conn, spec: dict) -> None:
             message = conn.recv()
             if message[0] == "stop":
                 break
+            if message[0] == "rebind":
+                new_store = SharedGraphStore.attach(message[1])
+                store.close()
+                store = new_store
+                graph = store.graph()
+                conn.send(("rebound",))
+                continue
             _, version, flat, items, actions = message
             corrupt = _apply_serving_faults(actions)
             if flat is not None:
@@ -195,6 +205,7 @@ class ExecutorPool:
         self._retries = [0] * executors
         self._next = 0
         self.respawns = 0
+        self.rebinds = 0
         try:
             for executor in range(executors):
                 self._spawn(executor)
@@ -283,6 +294,71 @@ class ExecutorPool:
         self._procs = []
         self._store.close()
         self._store.unlink()
+
+    # -- live graph mutation ---------------------------------------------
+    def rebind(self, graph: Graph) -> None:
+        """Re-export the graph and re-attach every live executor to it.
+
+        The mutated graph is exported into fresh shared segments; each
+        worker swaps its zero-copy views over to them (keeping its warm
+        model mirror — re-attach, not restart) and the old segments are
+        unlinked, so any stale :class:`SharedGraphHandle` attach raises
+        :class:`~repro.graphs.shm.StaleHandleError`. A worker that dies or
+        hangs mid-swap is killed and respawned against the new store (the
+        respawn spec reads ``self._store``), which completes its rebind;
+        ``max_retries`` exhaustion raises
+        :class:`WorkerSupervisionError` as usual.
+        """
+        old_store = self._store
+        self._store = SharedGraphStore.export(graph)
+        handle = self._store.handle()
+        try:
+            for executor in range(self.executors):
+                self._rebind_one(executor, handle)
+        finally:
+            old_store.close()
+            old_store.unlink()
+        self.rebinds += 1
+
+    def _rebind_one(self, executor: int, handle) -> None:
+        try:
+            self._conns[executor].send(("rebind", handle))
+        except (OSError, BrokenPipeError, ValueError):
+            pass  # the sentinel wait will classify the dead worker
+        attempt = self._retries[executor]
+        status, frame = _await_frame(
+            self._conns[executor], self._procs[executor],
+            self.supervisor.deadline(attempt),
+        )
+        if status == "ok" and frame == ("rebound",):
+            self._retries[executor] = 0
+            return
+        cause = (
+            f"executor exited during rebind (exit code {frame})"
+            if status == "dead"
+            else "no rebind acknowledgement within the deadline"
+            if status == "hung"
+            else f"malformed rebind acknowledgement {frame!r}"
+        )
+        self._kill(executor)
+        self._retries[executor] += 1
+        if self._retries[executor] > self.supervisor.max_retries:
+            raise WorkerSupervisionError(
+                f"serving executor {executor} failed "
+                f"{self._retries[executor]} consecutive times during a "
+                f"graph rebind (last cause: {cause}); degrading to "
+                "in-process serving"
+            )
+        try:
+            self._spawn(executor)
+        except Exception as exc:
+            raise WorkerSupervisionError(
+                f"serving executor {executor} could not be respawned "
+                f"during a graph rebind ({cause}): {exc!r}"
+            ) from exc
+        # The respawned worker attached the *new* store in _spawn, so its
+        # rebind is already complete.
+        self.respawns += 1
 
     # -- parameters -----------------------------------------------------
     def set_params(self, flat: np.ndarray, version: int) -> None:

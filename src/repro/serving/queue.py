@@ -55,6 +55,11 @@ class Request:
     seed: int
     deadline: float
     submitted: float
+    #: Graph generation the request was admitted under. A window is only
+    #: served while the service's generation still matches — a mutation
+    #: drains admitted requests first, so a mismatch is an invariant
+    #: violation resolved as ``FAILED``, never served silently stale.
+    generation: int = 0
 
 
 @dataclass
@@ -70,6 +75,9 @@ class ServeResult:
     deadline: float = 0.0
     batch_size: int = 0
     cached: bool = False
+    #: Graph generation the logits were computed under (equals the
+    #: request's admission generation for every served result).
+    generation: int = 0
 
     @property
     def ok(self) -> bool:

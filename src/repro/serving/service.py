@@ -113,9 +113,12 @@ class InferenceService:
         self.model = model
         self.config = config or ServiceConfig()
         self.clock = clock
-        #: Bumped on graph replacement (dynamic graphs — future work) and
-        #: baked into every cache key.
+        #: Bumped by :meth:`apply_delta` (live graph mutation) and baked
+        #: into every cache key, so pre-mutation logits are structurally
+        #: unservable-stale.
         self.generation = 0
+        #: How many :meth:`apply_delta` calls this service has absorbed.
+        self.deltas_applied = 0
         #: Bumped on every checkpoint reload; baked into cache keys and
         #: the executor protocol, so a stale result is refused, not served.
         self.version = 0
@@ -208,6 +211,50 @@ class InferenceService:
         if self.pool is not None:
             self.pool.set_params(pack_parameters(self._params), self.version)
 
+    # -- live graph mutation ----------------------------------------------
+    def apply_delta(self, delta) -> Dict[str, object]:
+        """Mutate the served graph in place, with zero stale responses.
+
+        The admitted queue is drained *first*, so every in-flight request
+        is served bit-identical to its admission-time graph; then the
+        delta merges into the graph's CSR buffers incrementally
+        (:mod:`repro.graphs.mutation`), ``generation`` bumps (making every
+        cached result structurally unservable-stale), the result cache is
+        invalidated, and live executors are **re-attached** to the
+        re-exported shared segments — their warm model mirrors survive the
+        swap. Rebind-failure exhaustion degrades to in-process serving
+        exactly like an infer-path supervision failure.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        drained = self.drain()
+        self.graph.apply_delta(delta)
+        self.generation += 1
+        self.deltas_applied += 1
+        self.cache.invalidate()
+        if self.pool is not None:
+            try:
+                self.pool.rebind(self.graph)
+            except WorkerSupervisionError as exc:
+                _warn_once(
+                    "executors-rebind-exhausted", "serving executors",
+                    f"serving executor pool gave up during a graph rebind "
+                    f"({exc}); degrading to in-process serving",
+                )
+                pool, self.pool = self.pool, None
+                self.degraded = True
+                try:
+                    pool.close()
+                except Exception:
+                    pass
+        return {
+            "generation": self.generation,
+            "drained": drained,
+            "delta": delta.summary(),
+            "n_nodes": self.graph.n_nodes,
+            "n_edges": self.graph.n_edges,
+        }
+
     # -- request plane ----------------------------------------------------
     def submit(self, node, deadline: Optional[float] = None,
                seed: int = 0) -> Ticket:
@@ -255,14 +302,15 @@ class InferenceService:
             ticket.resolve(ServeResult(
                 rid=rid, node=node, status=OK, logits=cached.copy(),
                 submitted=now, completed=now, deadline=deadline,
-                batch_size=1, cached=True,
+                batch_size=1, cached=True, generation=self.generation,
             ))
             self.queue.note_served(
                 Request(rid, node, seed, deadline, now), now, cached=True
             )
             return ticket
         request = Request(rid=rid, node=node, seed=seed,
-                          deadline=deadline, submitted=now)
+                          deadline=deadline, submitted=now,
+                          generation=self.generation)
         self.queue.offer(request, ticket)
         return ticket
 
@@ -285,6 +333,35 @@ class InferenceService:
         resolved = self.queue.stats.shed_deadline - shed_before
         if not window:
             return resolved
+        stale = [
+            (request, ticket) for request, ticket in window
+            if request.generation != self.generation
+        ]
+        if stale:
+            # Unreachable through apply_delta (which drains admitted
+            # requests before mutating), so a mismatch means someone
+            # mutated out of band: refuse loudly rather than serve a
+            # result against a graph the request never saw.
+            window = [
+                (request, ticket) for request, ticket in window
+                if request.generation == self.generation
+            ]
+            for request, ticket in stale:
+                self.queue.stats.failed += 1
+                ticket.resolve(ServeResult(
+                    rid=request.rid, node=request.node, status=FAILED,
+                    submitted=request.submitted, completed=now,
+                    deadline=request.deadline,
+                    generation=request.generation,
+                ))
+                ticket.error = (
+                    f"request admitted under graph generation "
+                    f"{request.generation} but the service is now at "
+                    f"{self.generation}; refusing to serve it stale"
+                )
+                resolved += 1
+            if not window:
+                return resolved
         requests = [request for request, _ in window]
         start = self.clock()
         try:
@@ -321,7 +398,7 @@ class InferenceService:
                     rid=request.rid, node=request.node, status=OK,
                     logits=logits, submitted=request.submitted,
                     completed=completed, deadline=request.deadline,
-                    batch_size=len(window),
+                    batch_size=len(window), generation=request.generation,
                 ))
                 self.queue.note_served(request, completed)
             resolved += 1
@@ -390,8 +467,11 @@ class InferenceService:
             )
         payload["cache"] = self.cache.stats()
         payload["version"] = self.version
+        payload["generation"] = self.generation
+        payload["deltas_applied"] = self.deltas_applied
         payload["degraded"] = self.degraded
         payload["executors"] = 0 if self.pool is None else self.pool.executors
         payload["respawns"] = 0 if self.pool is None else self.pool.respawns
+        payload["rebinds"] = 0 if self.pool is None else self.pool.rebinds
         payload["swept_segments"] = self.swept_segments
         return payload

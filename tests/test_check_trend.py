@@ -50,6 +50,16 @@ class TestCompareFile:
         )
         assert verdicts == {"x.identical": False, "x.finite": True}
 
+    def test_zero_stale_is_a_gated_boolean(self):
+        # The mutation benchmark's staleness claim (every served logit
+        # matches its admission-time generation) gates like the bitwise
+        # identity flags.
+        verdicts = _verdicts(
+            {"mix": {"zero_stale": True}},
+            {"mix": {"zero_stale": False}},
+        )
+        assert verdicts == {"mix.zero_stale": False}
+
     def test_deadline_met_is_a_gated_boolean(self):
         # The serving benchmark's p99-under-deadline claim gates like
         # the bitwise-identity booleans: flipping False is a regression.
@@ -237,6 +247,75 @@ class TestMain:
         ]) == 1
         out = capsys.readouterr().out
         assert "re-generate the committed baseline" in out
+
+    def test_step_summary_written_when_env_set(
+        self, tmp_path, monkeypatch
+    ):
+        """CI runs (GITHUB_STEP_SUMMARY set) get a markdown gate table
+        with one row per compared key: pass, FAIL, and bootstrapped rows
+        all present."""
+        self._write(tmp_path / "base", "BENCH_x.json",
+                    {"speedup": 2.0, "identical": True})
+        self._write(tmp_path / "cur", "BENCH_x.json",
+                    {"speedup": 1.0, "identical": True,
+                     "fresh": {"zero_stale": True}})
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        assert check_trend.main([
+            "--baseline", str(tmp_path / "base"),
+            "--current", str(tmp_path / "cur"),
+        ]) == 1
+        text = summary.read_text()
+        assert "## Benchmark trend gate" in text
+        assert "| benchmark | key | kind | baseline | current | status |" \
+            in text
+        assert "**FAIL**" in text          # speedup 2.0 -> 1.0
+        assert "| pass |" in text          # identical held
+        assert "bootstrapped" in text      # fresh.zero_stale has no baseline
+        assert "1 regression(s)" in text
+
+    def test_step_summary_appends_instead_of_clobbering(
+        self, tmp_path, monkeypatch
+    ):
+        self._write(tmp_path / "base", "BENCH_x.json", {"speedup": 2.0})
+        self._write(tmp_path / "cur", "BENCH_x.json", {"speedup": 2.1})
+        summary = tmp_path / "summary.md"
+        summary.write_text("## Earlier step\n")
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        assert check_trend.main([
+            "--baseline", str(tmp_path / "base"),
+            "--current", str(tmp_path / "cur"),
+        ]) == 0
+        text = summary.read_text()
+        assert text.startswith("## Earlier step\n")
+        assert "## Benchmark trend gate" in text
+        assert "**passed**" in text
+
+    def test_step_summary_not_written_outside_ci(
+        self, tmp_path, monkeypatch
+    ):
+        self._write(tmp_path / "base", "BENCH_x.json", {"speedup": 2.0})
+        self._write(tmp_path / "cur", "BENCH_x.json", {"speedup": 2.1})
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        assert check_trend.main([
+            "--baseline", str(tmp_path / "base"),
+            "--current", str(tmp_path / "cur"),
+        ]) == 0
+        assert not (tmp_path / "summary.md").exists()
+
+    def test_step_summary_names_corrupt_files(self, tmp_path, monkeypatch):
+        self._write(tmp_path / "base", "BENCH_x.json", {"speedup": 2.0})
+        (tmp_path / "cur").mkdir()
+        (tmp_path / "cur" / "BENCH_x.json").write_text('{"speedup": 2.')
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        assert check_trend.main([
+            "--baseline", str(tmp_path / "base"),
+            "--current", str(tmp_path / "cur"),
+        ]) == 1
+        text = summary.read_text()
+        assert "corrupt-current" in text
+        assert "BENCH_x.json" in text
 
     def test_gate_all_overrides_the_noise_floor(self, tmp_path):
         self._write(tmp_path / "base", "BENCH_x.json", {"speedup": 1.05})

@@ -75,6 +75,7 @@ class TestCLI:
         assert set(ARTIFACTS) == {
             "fig1", "fig4", "fig8", "fig9", "fig10",
             "table1", "table2", "table3", "table4", "table5",
+            "drift",
         }
 
     def test_descriptive_tables(self, capsys):
